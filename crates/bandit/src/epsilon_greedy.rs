@@ -1,0 +1,249 @@
+//! ε-greedy contextual baseline with per-arm linear value estimates.
+
+use crate::policy::{check_action, check_context, check_reward, random_action};
+use crate::{Action, BanditError, ContextualPolicy, Reward};
+use p2b_linalg::{RankOneInverse, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`EpsilonGreedy`] policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonGreedyConfig {
+    /// Context dimension `d`.
+    pub context_dimension: usize,
+    /// Number of arms `A`.
+    pub num_actions: usize,
+    /// Probability of taking a uniformly random exploratory action.
+    pub epsilon: f64,
+    /// Ridge regularization of the per-arm linear value estimate.
+    pub regularizer: f64,
+}
+
+impl EpsilonGreedyConfig {
+    /// Creates a configuration with ε = 0.1 and λ = 1.
+    #[must_use]
+    pub fn new(context_dimension: usize, num_actions: usize) -> Self {
+        Self {
+            context_dimension,
+            num_actions,
+            epsilon: 0.1,
+            regularizer: 1.0,
+        }
+    }
+
+    /// Sets the exploration probability ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    fn validate(&self) -> Result<(), BanditError> {
+        if self.context_dimension == 0 {
+            return Err(BanditError::InvalidConfig {
+                parameter: "context_dimension",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.num_actions == 0 {
+            return Err(BanditError::InvalidConfig {
+                parameter: "num_actions",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if !self.epsilon.is_finite() || !(0.0..=1.0).contains(&self.epsilon) {
+            return Err(BanditError::InvalidConfig {
+                parameter: "epsilon",
+                message: format!("must lie in [0, 1], got {}", self.epsilon),
+            });
+        }
+        if !self.regularizer.is_finite() || self.regularizer <= 0.0 {
+            return Err(BanditError::InvalidConfig {
+                parameter: "regularizer",
+                message: format!("must be a finite positive number, got {}", self.regularizer),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// ε-greedy linear contextual bandit.
+///
+/// With probability ε the policy explores uniformly at random; otherwise it
+/// exploits the per-arm ridge-regression estimate `θ_aᵀ x`. It is used as an
+/// ablation baseline against LinUCB's confidence-driven exploration.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    config: EpsilonGreedyConfig,
+    inverses: Vec<RankOneInverse>,
+    reward_vectors: Vec<Vector>,
+    observations: u64,
+}
+
+impl EpsilonGreedy {
+    /// Creates a cold-start ε-greedy policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidConfig`] for invalid configurations.
+    pub fn new(config: EpsilonGreedyConfig) -> Result<Self, BanditError> {
+        config.validate()?;
+        let inverses = (0..config.num_actions)
+            .map(|_| RankOneInverse::identity(config.context_dimension, config.regularizer))
+            .collect::<Result<Vec<_>, _>>()?;
+        let reward_vectors = (0..config.num_actions)
+            .map(|_| Vector::zeros(config.context_dimension))
+            .collect();
+        Ok(Self {
+            config,
+            inverses,
+            reward_vectors,
+            observations: 0,
+        })
+    }
+
+    /// The configuration the policy was built with.
+    #[must_use]
+    pub fn config(&self) -> &EpsilonGreedyConfig {
+        &self.config
+    }
+
+    /// Greedy value estimates `θ_aᵀ x` for every arm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized contexts.
+    pub fn estimates(&self, context: &Vector) -> Result<Vec<f64>, BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        self.inverses
+            .iter()
+            .zip(self.reward_vectors.iter())
+            .map(|(inv, b)| {
+                let theta = inv.solve(b)?;
+                Ok(theta.dot(context)?)
+            })
+            .collect()
+    }
+}
+
+impl ContextualPolicy for EpsilonGreedy {
+    fn num_actions(&self) -> usize {
+        self.config.num_actions
+    }
+
+    fn context_dimension(&self) -> usize {
+        self.config.context_dimension
+    }
+
+    fn select_action(
+        &mut self,
+        context: &Vector,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Action, BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        use rand::Rng as _;
+        if (&mut *rng).gen::<f64>() < self.config.epsilon {
+            return Ok(random_action(self.config.num_actions, rng));
+        }
+        let estimates = self.estimates(context)?;
+        let best = p2b_linalg::argmax(&estimates).unwrap_or(0);
+        Ok(Action::new(best))
+    }
+
+    fn update(
+        &mut self,
+        context: &Vector,
+        action: Action,
+        reward: Reward,
+    ) -> Result<(), BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        check_action(self.config.num_actions, action)?;
+        check_reward(reward)?;
+        self.inverses[action.index()].update(context)?;
+        self.reward_vectors[action.index()].axpy(reward, context)?;
+        self.observations += 1;
+        Ok(())
+    }
+
+    fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        assert!(EpsilonGreedy::new(EpsilonGreedyConfig::new(0, 2)).is_err());
+        assert!(EpsilonGreedy::new(EpsilonGreedyConfig::new(2, 0)).is_err());
+        assert!(EpsilonGreedy::new(EpsilonGreedyConfig::new(2, 2).with_epsilon(1.5)).is_err());
+        assert!(EpsilonGreedy::new(EpsilonGreedyConfig::new(2, 2).with_epsilon(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn zero_epsilon_is_fully_greedy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut policy =
+            EpsilonGreedy::new(EpsilonGreedyConfig::new(1, 2).with_epsilon(0.0)).unwrap();
+        let ctx = Vector::from(vec![1.0]);
+        policy.update(&ctx, Action::new(1), 1.0).unwrap();
+        policy.update(&ctx, Action::new(0), 0.0).unwrap();
+        for _ in 0..20 {
+            assert_eq!(policy.select_action(&ctx, &mut rng).unwrap().index(), 1);
+        }
+    }
+
+    #[test]
+    fn full_epsilon_explores_all_arms() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut policy =
+            EpsilonGreedy::new(EpsilonGreedyConfig::new(1, 5).with_epsilon(1.0)).unwrap();
+        let ctx = Vector::from(vec![1.0]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(policy.select_action(&ctx, &mut rng).unwrap().index());
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn learns_context_dependent_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut policy =
+            EpsilonGreedy::new(EpsilonGreedyConfig::new(2, 2).with_epsilon(0.2)).unwrap();
+        let ctx_a = Vector::from(vec![1.0, 0.0]);
+        let ctx_b = Vector::from(vec![0.0, 1.0]);
+        for _ in 0..300 {
+            for (ctx, good) in [(&ctx_a, 0usize), (&ctx_b, 1usize)] {
+                let a = policy.select_action(ctx, &mut rng).unwrap();
+                let r = if a.index() == good { 1.0 } else { 0.0 };
+                policy.update(ctx, a, r).unwrap();
+            }
+        }
+        let ea = policy.estimates(&ctx_a).unwrap();
+        let eb = policy.estimates(&ctx_b).unwrap();
+        assert!(ea[0] > ea[1]);
+        assert!(eb[1] > eb[0]);
+    }
+
+    #[test]
+    fn update_validates_inputs() {
+        let mut policy = EpsilonGreedy::new(EpsilonGreedyConfig::new(2, 2)).unwrap();
+        assert!(policy
+            .update(&Vector::zeros(3), Action::new(0), 0.5)
+            .is_err());
+        assert!(policy
+            .update(&Vector::zeros(2), Action::new(9), 0.5)
+            .is_err());
+        assert!(policy
+            .update(&Vector::zeros(2), Action::new(0), -1.0)
+            .is_err());
+    }
+}

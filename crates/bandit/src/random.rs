@@ -1,0 +1,119 @@
+//! Uniformly random policy, the weakest baseline.
+
+use crate::policy::{check_action, check_context, check_reward, random_action};
+use crate::{Action, BanditError, ContextualPolicy, Reward};
+use p2b_linalg::Vector;
+
+/// A policy that ignores both context and feedback and picks uniformly at
+/// random.
+///
+/// Its expected reward equals the average reward over arms, which anchors the
+/// bottom of every figure: any learning policy must clear this line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomPolicy {
+    context_dimension: usize,
+    num_actions: usize,
+    observations: u64,
+}
+
+impl RandomPolicy {
+    /// Creates a random policy over `num_actions` arms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidConfig`] when either argument is zero.
+    pub fn new(context_dimension: usize, num_actions: usize) -> Result<Self, BanditError> {
+        if context_dimension == 0 || num_actions == 0 {
+            return Err(BanditError::InvalidConfig {
+                parameter: "dimensions",
+                message: "context_dimension and num_actions must be at least 1".to_owned(),
+            });
+        }
+        Ok(Self {
+            context_dimension,
+            num_actions,
+            observations: 0,
+        })
+    }
+}
+
+impl ContextualPolicy for RandomPolicy {
+    fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    fn context_dimension(&self) -> usize {
+        self.context_dimension
+    }
+
+    fn select_action(
+        &mut self,
+        context: &Vector,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Action, BanditError> {
+        check_context(self.context_dimension, context)?;
+        Ok(random_action(self.num_actions, rng))
+    }
+
+    fn update(
+        &mut self,
+        context: &Vector,
+        action: Action,
+        reward: Reward,
+    ) -> Result<(), BanditError> {
+        check_context(self.context_dimension, context)?;
+        check_action(self.num_actions, action)?;
+        check_reward(reward)?;
+        self.observations += 1;
+        Ok(())
+    }
+
+    fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selects_all_arms_roughly_uniformly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut policy = RandomPolicy::new(1, 4).unwrap();
+        let ctx = Vector::from(vec![1.0]);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[policy.select_action(&ctx, &mut rng).unwrap().index()] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn update_counts_observations_but_learns_nothing() {
+        let mut policy = RandomPolicy::new(2, 3).unwrap();
+        policy
+            .update(&Vector::zeros(2), Action::new(1), 1.0)
+            .unwrap();
+        assert_eq!(policy.observations(), 1);
+        assert_eq!(policy.name(), "random");
+    }
+
+    #[test]
+    fn validates_construction_and_inputs() {
+        assert!(RandomPolicy::new(0, 3).is_err());
+        assert!(RandomPolicy::new(3, 0).is_err());
+        let mut policy = RandomPolicy::new(2, 3).unwrap();
+        assert!(policy
+            .update(&Vector::zeros(2), Action::new(7), 0.5)
+            .is_err());
+    }
+}

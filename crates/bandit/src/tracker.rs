@@ -1,0 +1,183 @@
+//! Cumulative reward and regret accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Running statistics over the rewards obtained by a policy.
+///
+/// The experiments report *average reward* (synthetic benchmarks),
+/// *accuracy* (multi-label, where the reward is 0/1 correctness) and *CTR*
+/// (Criteo, where the reward is 0/1 click-through); all three are the mean of
+/// the observed rewards, which this tracker maintains in O(1) per step along
+/// with optional regret against the per-round optimum.
+///
+/// ```
+/// let mut t = p2b_bandit::RewardTracker::new();
+/// t.record(1.0);
+/// t.record_with_optimum(0.0, 1.0);
+/// assert_eq!(t.count(), 2);
+/// assert!((t.average_reward() - 0.5).abs() < 1e-12);
+/// assert!((t.cumulative_regret() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RewardTracker {
+    count: u64,
+    total_reward: f64,
+    total_squared_reward: f64,
+    total_optimum: f64,
+}
+
+/// Immutable summary of a [`RewardTracker`], convenient for serialization
+/// into experiment result files.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardSummary {
+    /// Number of recorded rounds.
+    pub count: u64,
+    /// Mean observed reward.
+    pub average_reward: f64,
+    /// Standard deviation of the observed rewards.
+    pub reward_stddev: f64,
+    /// Cumulative regret against the recorded optima (0 when no optima were recorded).
+    pub cumulative_regret: f64,
+}
+
+impl RewardTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observed reward without regret accounting.
+    pub fn record(&mut self, reward: f64) {
+        self.record_with_optimum(reward, reward);
+    }
+
+    /// Records an observed reward along with the best achievable reward of
+    /// the round, enabling regret computation.
+    pub fn record_with_optimum(&mut self, reward: f64, optimum: f64) {
+        self.count += 1;
+        self.total_reward += reward;
+        self.total_squared_reward += reward * reward;
+        self.total_optimum += optimum;
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded rewards.
+    #[must_use]
+    pub fn total_reward(&self) -> f64 {
+        self.total_reward
+    }
+
+    /// Mean recorded reward (0.0 when nothing was recorded).
+    #[must_use]
+    pub fn average_reward(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_reward / self.count as f64
+    }
+
+    /// Standard deviation of the recorded rewards.
+    #[must_use]
+    pub fn reward_stddev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.total_reward / n;
+        (self.total_squared_reward / n - mean * mean).max(0.0).sqrt()
+    }
+
+    /// Total regret `Σ (optimum − reward)` over rounds recorded with an optimum.
+    #[must_use]
+    pub fn cumulative_regret(&self) -> f64 {
+        self.total_optimum - self.total_reward
+    }
+
+    /// Merges the counts of another tracker into this one.
+    pub fn merge(&mut self, other: &RewardTracker) {
+        self.count += other.count;
+        self.total_reward += other.total_reward;
+        self.total_squared_reward += other.total_squared_reward;
+        self.total_optimum += other.total_optimum;
+    }
+
+    /// Produces an immutable summary snapshot.
+    #[must_use]
+    pub fn summary(&self) -> RewardSummary {
+        RewardSummary {
+            count: self.count,
+            average_reward: self.average_reward(),
+            reward_stddev: self.reward_stddev(),
+            cumulative_regret: self.cumulative_regret(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_zeros() {
+        let t = RewardTracker::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.average_reward(), 0.0);
+        assert_eq!(t.reward_stddev(), 0.0);
+        assert_eq!(t.cumulative_regret(), 0.0);
+    }
+
+    #[test]
+    fn averages_and_regret() {
+        let mut t = RewardTracker::new();
+        t.record_with_optimum(0.5, 1.0);
+        t.record_with_optimum(1.0, 1.0);
+        t.record_with_optimum(0.0, 0.5);
+        assert_eq!(t.count(), 3);
+        assert!((t.average_reward() - 0.5).abs() < 1e-12);
+        assert!((t.cumulative_regret() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_matches_population_formula() {
+        let mut t = RewardTracker::new();
+        for r in [0.0, 0.0, 1.0, 1.0] {
+            t.record(r);
+        }
+        assert!((t.reward_stddev() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything_in_one_tracker() {
+        let rewards_a = [0.2, 0.4, 0.9];
+        let rewards_b = [0.1, 1.0];
+        let mut a = RewardTracker::new();
+        let mut b = RewardTracker::new();
+        let mut combined = RewardTracker::new();
+        for &r in &rewards_a {
+            a.record(r);
+            combined.record(r);
+        }
+        for &r in &rewards_b {
+            b.record(r);
+            combined.record(r);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn summary_round_trips_fields() {
+        let mut t = RewardTracker::new();
+        t.record_with_optimum(0.25, 1.0);
+        let s = t.summary();
+        assert_eq!(s.count, 1);
+        assert!((s.average_reward - 0.25).abs() < 1e-12);
+        assert!((s.cumulative_regret - 0.75).abs() < 1e-12);
+    }
+}

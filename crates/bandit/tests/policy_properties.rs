@@ -1,0 +1,156 @@
+//! Property-based and cross-policy integration tests for the bandit substrate.
+
+use p2b_bandit::{
+    Action, ContextualPolicy, EpsilonGreedy, EpsilonGreedyConfig, LinUcb, LinUcbConfig,
+    LinearThompsonSampling, RandomPolicy, RewardTracker, ThompsonConfig, Ucb1,
+};
+use p2b_linalg::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds one instance of every policy with the same action/context space.
+fn all_policies(d: usize, a: usize) -> Vec<Box<dyn ContextualPolicy>> {
+    vec![
+        Box::new(LinUcb::new(LinUcbConfig::new(d, a)).unwrap()),
+        Box::new(EpsilonGreedy::new(EpsilonGreedyConfig::new(d, a)).unwrap()),
+        Box::new(LinearThompsonSampling::new(ThompsonConfig::new(d, a)).unwrap()),
+        Box::new(Ucb1::new(d, a).unwrap()),
+        Box::new(RandomPolicy::new(d, a).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every policy must return an in-range action for any valid context and
+    /// accept the resulting update without error.
+    #[test]
+    fn policies_always_return_valid_actions(
+        seed in any::<u64>(),
+        d in 1usize..6,
+        a in 1usize..8,
+        raw in prop::collection::vec(0.0f64..1.0, 1..6),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut context_data = raw.clone();
+        context_data.resize(d, 0.5);
+        let context = Vector::from(context_data).normalized_l1().unwrap();
+        for mut policy in all_policies(d, a) {
+            let action = policy.select_action(&context, &mut rng).unwrap();
+            prop_assert!(action.index() < a);
+            policy.update(&context, action, 0.5).unwrap();
+            prop_assert_eq!(policy.observations(), 1);
+        }
+    }
+
+    /// Policies reject contexts whose dimension does not match the configuration.
+    #[test]
+    fn policies_reject_mis_sized_contexts(seed in any::<u64>(), d in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wrong = Vector::zeros(d - 1);
+        for mut policy in all_policies(d, 3) {
+            prop_assert!(policy.select_action(&wrong, &mut rng).is_err());
+            prop_assert!(policy.update(&wrong, Action::new(0), 0.5).is_err());
+        }
+    }
+
+    /// Rewards outside [0, 1] are rejected by every policy.
+    #[test]
+    fn policies_reject_out_of_range_rewards(bad in prop_oneof![Just(-0.5f64), Just(1.5f64), Just(f64::NAN)]) {
+        let ctx = Vector::from(vec![0.5, 0.5]);
+        for mut policy in all_policies(2, 2) {
+            prop_assert!(policy.update(&ctx, Action::new(0), bad).is_err());
+        }
+    }
+}
+
+/// A simple deterministic environment where arm (i mod A) is optimal for
+/// basis-vector context e_i. Learning policies must beat the random baseline.
+#[test]
+fn learning_policies_beat_random_baseline() {
+    let d = 4;
+    let a = 4;
+    let rounds = 1500;
+
+    let run = |policy: &mut dyn ContextualPolicy, seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tracker = RewardTracker::new();
+        for t in 0..rounds {
+            let ctx = Vector::basis(d, t % d);
+            let action = policy.select_action(&ctx, &mut rng).unwrap();
+            let reward = if action.index() == t % a { 1.0 } else { 0.0 };
+            policy.update(&ctx, action, reward).unwrap();
+            tracker.record_with_optimum(reward, 1.0);
+        }
+        tracker.average_reward()
+    };
+
+    let mut linucb = LinUcb::new(LinUcbConfig::new(d, a)).unwrap();
+    let mut egreedy = EpsilonGreedy::new(EpsilonGreedyConfig::new(d, a)).unwrap();
+    let mut thompson = LinearThompsonSampling::new(ThompsonConfig::new(d, a)).unwrap();
+    let mut random = RandomPolicy::new(d, a).unwrap();
+
+    let r_linucb = run(&mut linucb, 1);
+    let r_egreedy = run(&mut egreedy, 2);
+    let r_thompson = run(&mut thompson, 3);
+    let r_random = run(&mut random, 4);
+
+    assert!(
+        r_linucb > r_random + 0.2,
+        "LinUCB {r_linucb:.3} vs random {r_random:.3}"
+    );
+    assert!(
+        r_egreedy > r_random + 0.2,
+        "eps-greedy {r_egreedy:.3} vs random {r_random:.3}"
+    );
+    assert!(
+        r_thompson > r_random + 0.2,
+        "Thompson {r_thompson:.3} vs random {r_random:.3}"
+    );
+}
+
+/// LinUCB with a warm-start merge should reach high reward faster than a cold
+/// model over a short horizon — the micro-scale version of the paper's
+/// cold/warm comparison.
+#[test]
+fn warm_started_linucb_outperforms_cold_start_on_short_horizon() {
+    let d = 3;
+    let a = 5;
+    let ctxs: Vec<Vector> = (0..d).map(|i| Vector::basis(d, i)).collect();
+    let optimal = |ctx: &Vector| ctx.argmax().unwrap() % a;
+
+    // Train a "server" model on plenty of data.
+    let mut server = LinUcb::new(LinUcbConfig::new(d, a)).unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    for t in 0..3000 {
+        let ctx = &ctxs[t % d];
+        let action = server.select_action(ctx, &mut rng).unwrap();
+        let reward = if action.index() == optimal(ctx) { 1.0 } else { 0.0 };
+        server.update(ctx, action, reward).unwrap();
+    }
+
+    let evaluate = |policy: &mut LinUcb, seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tracker = RewardTracker::new();
+        for t in 0..30 {
+            let ctx = &ctxs[t % d];
+            let action = policy.select_action(ctx, &mut rng).unwrap();
+            let reward = if action.index() == optimal(ctx) { 1.0 } else { 0.0 };
+            policy.update(ctx, action, reward).unwrap();
+            tracker.record(reward);
+        }
+        tracker.average_reward()
+    };
+
+    let mut cold = LinUcb::new(LinUcbConfig::new(d, a)).unwrap();
+    let mut warm = LinUcb::new(LinUcbConfig::new(d, a)).unwrap();
+    warm.merge(&server).unwrap();
+
+    let cold_reward = evaluate(&mut cold, 20);
+    let warm_reward = evaluate(&mut warm, 21);
+    assert!(
+        warm_reward > cold_reward,
+        "warm {warm_reward:.3} should beat cold {cold_reward:.3} on a 30-step horizon"
+    );
+}

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the encoding path: quantization, k-means fitting and
+//! per-context encoding at the paper's code-space sizes (k = 2⁵ … 2¹⁰).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder, Quantizer};
+use p2b_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn corpus(dimension: usize, size: usize, rng: &mut StdRng) -> Vec<Vector> {
+    (0..size)
+        .map(|_| {
+            let raw: Vec<f64> = (0..dimension).map(|_| rng.gen::<f64>()).collect();
+            Vector::from(raw).normalized_l1().expect("non-empty")
+        })
+        .collect()
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let quantizer = Quantizer::new(1).unwrap();
+    let contexts = corpus(10, 64, &mut rng);
+    c.bench_function("quantize_d10_q1", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % contexts.len();
+            quantizer.quantize(&contexts[i]).unwrap()
+        });
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_encode");
+    for &num_codes in &[32usize, 128, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{num_codes}")),
+            &num_codes,
+            |b, &num_codes| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let data = corpus(10, num_codes.max(512) * 2, &mut rng);
+                let encoder = KMeansEncoder::fit(
+                    &data,
+                    KMeansConfig::new(num_codes).with_iterations(10),
+                    &mut rng,
+                )
+                .unwrap();
+                let probe = &data[0];
+                b.iter(|| encoder.encode(probe).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_fit");
+    group.sample_size(10);
+    for &num_codes in &[32usize, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{num_codes}")),
+            &num_codes,
+            |b, &num_codes| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let data = corpus(10, 2048, &mut rng);
+                b.iter(|| {
+                    KMeansEncoder::fit(
+                        &data,
+                        KMeansConfig::new(num_codes).with_iterations(10),
+                        &mut rng,
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_encode, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! End-to-end benchmark: one full P2B user session (warm-start, T local
+//! interactions, randomized reporting) plus the server-side shuffling round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2b_core::{P2bConfig, P2bSystem};
+use p2b_encoding::{KMeansConfig, KMeansEncoder};
+use p2b_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn simplex_context(dimension: usize, rng: &mut StdRng) -> Vector {
+    let raw: Vec<f64> = (0..dimension).map(|_| rng.gen::<f64>()).collect();
+    Vector::from(raw).normalized_l1().expect("non-empty")
+}
+
+fn build_system(dimension: usize, actions: usize, codes: usize, rng: &mut StdRng) -> P2bSystem {
+    let corpus: Vec<Vector> = (0..codes * 4).map(|_| simplex_context(dimension, rng)).collect();
+    let encoder =
+        KMeansEncoder::fit(&corpus, KMeansConfig::new(codes).with_iterations(10), rng).unwrap();
+    P2bSystem::new(
+        P2bConfig::new(dimension, actions).with_shuffler_threshold(2),
+        Arc::new(encoder),
+    )
+    .unwrap()
+}
+
+fn bench_user_session(c: &mut Criterion) {
+    c.bench_function("p2b_user_session_d10_a20_t10", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut system = build_system(10, 20, 128, &mut rng);
+        b.iter(|| {
+            let mut agent = system.make_agent(&mut rng).unwrap();
+            for _ in 0..10 {
+                let ctx = simplex_context(10, &mut rng);
+                let action = agent.select_action(&ctx, &mut rng).unwrap();
+                let reward = if action.index() % 2 == 0 { 1.0 } else { 0.0 };
+                agent.observe_reward(&ctx, action, reward, &mut rng).unwrap();
+            }
+            system.collect_from(&mut agent);
+        });
+    });
+}
+
+fn bench_flush_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2b_flush_round");
+    group.sample_size(20);
+    group.bench_function("500_pending_reports", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter_batched(
+            || {
+                let mut system = build_system(10, 20, 32, &mut rng);
+                let mut fill_rng = StdRng::seed_from_u64(3);
+                for _ in 0..50 {
+                    let mut agent = system.make_agent(&mut fill_rng).unwrap();
+                    for _ in 0..10 {
+                        let ctx = simplex_context(10, &mut fill_rng);
+                        let action = agent.select_action(&ctx, &mut fill_rng).unwrap();
+                        agent
+                            .observe_reward(&ctx, action, 1.0, &mut fill_rng)
+                            .unwrap();
+                    }
+                    system.collect_from(&mut agent);
+                }
+                system
+            },
+            |mut system| system.flush_round(&mut StdRng::seed_from_u64(4)).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_user_session, bench_flush_round);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the shuffler: anonymize + shuffle + threshold over
+//! batches of the size a deployment would accumulate between rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2b_shuffler::{EncodedReport, RawReport, Shuffler, ShufflerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn batch(size: usize, codes: usize, rng: &mut StdRng) -> Vec<RawReport> {
+    (0..size)
+        .map(|i| {
+            let code = rng.gen_range(0..codes);
+            let action = rng.gen_range(0..40);
+            RawReport::with_timestamp(
+                format!("agent-{i}"),
+                i as u64,
+                EncodedReport::new(code, action, f64::from(rng.gen_range(0..2u8))).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn bench_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffler_process");
+    group.sample_size(20);
+    for &size in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let shuffler = Shuffler::new(ShufflerConfig::new(10)).unwrap();
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter_batched(
+                || batch(size, 32, &mut rng),
+                |reports| shuffler.process(reports, &mut StdRng::seed_from_u64(5)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_process);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 3: the differential-privacy ε as a function of the participation
+//! probability p (Equation 3, ε̄ = 0).
+
+use p2b_bench::save_series;
+use p2b_privacy::{amplified_delta, epsilon_sweep, Participation};
+use p2b_sim::{Regime, RegimeOutcome, SeriesPoint};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let points = epsilon_sweep(0.05, 0.95, 19)?;
+
+    println!("Figure 3: ε as a function of the participation probability p");
+    println!("{:>8} {:>10} {:>14}", "p", "epsilon", "delta (l=10)");
+    let mut series = Vec::new();
+    for point in &points {
+        let delta = amplified_delta(Participation::new(point.p)?, 10, 0.1)?;
+        println!("{:>8.2} {:>10.4} {:>14.3e}", point.p, point.epsilon, delta);
+        series.push(SeriesPoint::new(
+            "participation",
+            point.p,
+            vec![RegimeOutcome {
+                regime: Regime::WarmPrivate,
+                average_reward: point.epsilon,
+                reward_stddev: 0.0,
+                cumulative_regret: 0.0,
+                interactions: 0,
+                reports_to_server: 0,
+                epsilon: Some(point.epsilon),
+            }],
+        ));
+    }
+    println!(
+        "\nheadline: p = 0.5 gives ε = {:.6} ≈ ln 2 (paper: ≈ 0.693)",
+        points
+            .iter()
+            .min_by(|a, b| (a.p - 0.5).abs().partial_cmp(&(b.p - 0.5).abs()).unwrap())
+            .map(|p| p.epsilon)
+            .unwrap_or(f64::NAN)
+    );
+
+    save_series("fig3_epsilon", &series)?;
+    Ok(())
+}

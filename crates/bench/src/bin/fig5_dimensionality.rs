@@ -1,0 +1,56 @@
+//! Figure 5: average reward as a function of the context dimension
+//! d ∈ {6, …, 20}, with U = 20 000 users, A = 20 actions and T = 20
+//! interactions per user.
+//!
+//! The default scale uses U = 2 000 users (the paper's 20 000 behind
+//! `P2B_SCALE=full`); the downward trend with growing d and the relative
+//! ordering of the regimes are already visible at that size.
+
+use p2b_bench::{print_series, save_series, Scale};
+use p2b_datasets::SyntheticConfig;
+use p2b_sim::{parallel_map, run_synthetic_population, PopulationConfig, Regime, SeriesPoint};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    let num_users = scale.pick(200, 2_000, 20_000);
+    let dimensions: Vec<usize> = scale.pick(
+        vec![6, 10, 14],
+        vec![6, 8, 10, 12, 14, 16, 18, 20],
+        (6..=20).collect(),
+    );
+    let num_actions = 20;
+    let interactions = 20;
+    // See fig4_synthetic: the code space and threshold shrink with the scale
+    // so that the shuffler's crowd-blending filter is not starved of data.
+    let num_codes = scale.pick(64, 256, 1 << 10);
+    let threshold = scale.pick(2, 3, 10);
+    let flush_every = scale.pick(256, 1024, 8192);
+    let corpus_size = scale.pick(512, 2048, 4096);
+
+    let mut series = Vec::new();
+    for &dimension in &dimensions {
+        let env = SyntheticConfig::new(dimension, num_actions);
+        let outcomes = parallel_map(Regime::ALL.to_vec(), 3, |regime| {
+            let mut config = PopulationConfig::new(regime, num_users)
+                .with_interactions_per_user(interactions)
+                .with_num_codes(num_codes)
+                .with_shuffler_threshold(threshold)
+                .with_encoder_corpus_size(corpus_size)
+                .with_seed(2_000 + dimension as u64);
+            config.flush_every_reports = flush_every;
+            run_synthetic_population(env, config)
+        });
+        let outcomes: Result<Vec<_>, _> = outcomes.into_iter().collect();
+        series.push(SeriesPoint::new(
+            "context_dimension",
+            dimension as f64,
+            outcomes?,
+        ));
+    }
+    print_series(
+        &format!("Figure 5: U = {num_users}, A = {num_actions}, T = {interactions}"),
+        &series,
+    );
+    save_series("fig5_dimensionality", &series)?;
+    Ok(())
+}

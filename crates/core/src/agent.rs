@@ -1,0 +1,297 @@
+//! The local P2B agent: LinUCB + encoder + randomized reporter.
+
+use crate::{CodeRepresentation, CoreError, P2bConfig, RandomizedReporter};
+use p2b_bandit::{Action, ContextualPolicy, LinUcb};
+use p2b_encoding::Encoder;
+use p2b_linalg::Vector;
+use p2b_privacy::{amplified_epsilon, PrivacyAccountant, PrivacyGuarantee};
+use p2b_shuffler::{EncodedReport, RawReport};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A local agent running on a (simulated) user device.
+///
+/// The agent observes raw contexts, encodes them, feeds the encoded
+/// representation to its LinUCB policy, and — after every `T` interactions,
+/// with probability `p` — queues the most recent interaction tuple `(y, a, r)`
+/// for transmission to the shuffler. It also keeps a [`PrivacyAccountant`]
+/// recording the (ε, δ) cost of its reporting opportunities.
+///
+/// Agents are created through [`crate::P2bSystem::make_agent`] (warm start:
+/// the central model is merged into the fresh policy) or
+/// [`crate::P2bSystem::make_cold_agent`] (no warm start, used by the
+/// cold-start baseline).
+#[derive(Debug, Clone)]
+pub struct LocalAgent {
+    id: u64,
+    policy: LinUcb,
+    encoder: Arc<dyn Encoder>,
+    representation: CodeRepresentation,
+    reporter: RandomizedReporter,
+    accountant: PrivacyAccountant,
+    per_report_guarantee: PrivacyGuarantee,
+    pending: Vec<RawReport>,
+    interactions: u64,
+}
+
+impl LocalAgent {
+    /// Creates an agent. Prefer the factory methods on [`crate::P2bSystem`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`]/[`CoreError::Bandit`] for invalid
+    /// configurations and [`CoreError::EncoderMismatch`] if the encoder does
+    /// not handle contexts of the configured dimension.
+    pub fn new(
+        id: u64,
+        config: &P2bConfig,
+        encoder: Arc<dyn Encoder>,
+        warm_start: Option<&LinUcb>,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        if encoder.context_dimension() != config.context_dimension {
+            return Err(CoreError::EncoderMismatch {
+                expected: config.context_dimension,
+                found: encoder.context_dimension(),
+            });
+        }
+        let mut policy = LinUcb::new(config.central_linucb(encoder.as_ref()))?;
+        if let Some(central) = warm_start {
+            policy.merge(central)?;
+        }
+        let participation = config.participation()?;
+        let epsilon = amplified_epsilon(participation, 0.0)?;
+        let per_report_guarantee = PrivacyGuarantee::pure(epsilon)?;
+        Ok(Self {
+            id,
+            policy,
+            encoder,
+            representation: config.code_representation,
+            reporter: RandomizedReporter::new(participation, config.local_interactions),
+            accountant: PrivacyAccountant::new(),
+            per_report_guarantee,
+            pending: Vec::new(),
+            interactions: 0,
+        })
+    }
+
+    /// The agent's identifier (used only as shuffler-stripped metadata).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of interactions the agent has observed.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Borrows the agent's policy (e.g. to inspect per-arm statistics).
+    #[must_use]
+    pub fn policy(&self) -> &LinUcb {
+        &self.policy
+    }
+
+    /// Borrows the agent's reporter statistics.
+    #[must_use]
+    pub fn reporter(&self) -> &RandomizedReporter {
+        &self.reporter
+    }
+
+    /// Total privacy spent by this agent so far (sequential composition over
+    /// its reporting opportunities).
+    #[must_use]
+    pub fn privacy_spent(&self) -> PrivacyGuarantee {
+        self.accountant.total()
+    }
+
+    /// Maps a raw observed context to the model context the policy consumes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for mis-sized contexts.
+    pub fn model_context(&self, raw_context: &Vector) -> Result<Vector, CoreError> {
+        let code = self.encoder.encode(raw_context)?;
+        self.representation.vector(self.encoder.as_ref(), code)
+    }
+
+    /// Proposes an action for the observed raw context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder and policy errors (mis-sized contexts).
+    pub fn select_action<R: Rng>(
+        &mut self,
+        raw_context: &Vector,
+        rng: &mut R,
+    ) -> Result<Action, CoreError> {
+        let model_context = self.model_context(raw_context)?;
+        Ok(self.policy.select_action(&model_context, rng)?)
+    }
+
+    /// Feeds back the observed reward, updates the local policy, and lets the
+    /// randomized reporter decide whether to queue the interaction for
+    /// sharing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder/policy errors; rewards must lie in `[0, 1]`.
+    pub fn observe_reward<R: Rng>(
+        &mut self,
+        raw_context: &Vector,
+        action: Action,
+        reward: f64,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        let code = self.encoder.encode(raw_context)?;
+        let model_context = self.representation.vector(self.encoder.as_ref(), code)?;
+        self.policy.update(&model_context, action, reward)?;
+        self.interactions += 1;
+
+        let opportunities_before = self.reporter.opportunities();
+        if let Some(pending) = self.reporter.observe(code, action, reward, rng) {
+            let payload = EncodedReport::new(pending.code, pending.action, pending.reward)?;
+            self.pending.push(RawReport::with_timestamp(
+                format!("agent-{}", self.id),
+                self.interactions,
+                payload,
+            ));
+        }
+        // Every reporting *opportunity* consumes privacy budget, whether or
+        // not the coin flip elected to share: the sampling itself is part of
+        // the differentially private mechanism.
+        if self.reporter.opportunities() > opportunities_before {
+            self.accountant
+                .spend(self.per_report_guarantee, "reporting opportunity")?;
+        }
+        Ok(())
+    }
+
+    /// Drains the reports queued since the last call.
+    #[must_use]
+    pub fn take_reports(&mut self) -> Vec<RawReport> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Merges a newer central model into the local policy (a model refresh).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Bandit`] if the model shapes are incompatible.
+    pub fn refresh_from(&mut self, central: &LinUcb) -> Result<(), CoreError> {
+        self.policy.merge(central)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2b_encoding::{KMeansConfig, KMeansEncoder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(seed: u64) -> Arc<dyn Encoder> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corpus: Vec<Vector> = (0..60)
+            .map(|i| {
+                let mut v = vec![0.1; 4];
+                v[i % 4] = 1.0;
+                Vector::from(v).normalized_l1().unwrap()
+            })
+            .collect();
+        Arc::new(KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng).unwrap())
+    }
+
+    fn config() -> P2bConfig {
+        P2bConfig::new(4, 3).with_local_interactions(2)
+    }
+
+    #[test]
+    fn rejects_mismatched_encoder() {
+        let cfg = P2bConfig::new(7, 3);
+        let err = LocalAgent::new(0, &cfg, encoder(0), None);
+        assert!(matches!(err, Err(CoreError::EncoderMismatch { .. })));
+    }
+
+    #[test]
+    fn interactions_update_the_policy_and_queue_reports() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agent = LocalAgent::new(1, &config(), encoder(1), None).unwrap();
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+        for _ in 0..20 {
+            let action = agent.select_action(&ctx, &mut rng).unwrap();
+            agent.observe_reward(&ctx, action, 1.0, &mut rng).unwrap();
+        }
+        assert_eq!(agent.interactions(), 20);
+        assert_eq!(agent.policy().observations(), 20);
+        // With T = 2 there were 10 opportunities; at p = 0.5 some reports are
+        // queued with overwhelming probability under this seed.
+        let reports = agent.take_reports();
+        assert!(!reports.is_empty());
+        assert!(agent.take_reports().is_empty(), "drain must clear the queue");
+        assert_eq!(agent.reporter().opportunities(), 10);
+    }
+
+    #[test]
+    fn privacy_accounting_tracks_opportunities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut agent = LocalAgent::new(2, &config(), encoder(2), None).unwrap();
+        let ctx = Vector::filled(4, 0.25);
+        for _ in 0..10 {
+            let action = agent.select_action(&ctx, &mut rng).unwrap();
+            agent.observe_reward(&ctx, action, 0.5, &mut rng).unwrap();
+        }
+        // T = 2 → 5 opportunities → ε = 5 · ln 2.
+        let spent = agent.privacy_spent();
+        assert!((spent.epsilon() - 5.0 * std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_transfers_central_knowledge() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = encoder(3);
+        let cfg = config();
+
+        // Train a central model that prefers action 2 for the centroid of
+        // whatever code the test context falls into.
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+        let code = enc.encode(&ctx).unwrap();
+        let model_ctx = CodeRepresentation::Centroid.vector(enc.as_ref(), code).unwrap();
+        let mut central = LinUcb::new(cfg.central_linucb(enc.as_ref())).unwrap();
+        for _ in 0..200 {
+            central.update(&model_ctx, Action::new(2), 1.0).unwrap();
+            central.update(&model_ctx, Action::new(0), 0.0).unwrap();
+            central.update(&model_ctx, Action::new(1), 0.0).unwrap();
+        }
+
+        let mut warm = LocalAgent::new(4, &cfg, Arc::clone(&enc), Some(&central)).unwrap();
+        // A warm agent should immediately prefer action 2.
+        let mut votes = [0usize; 3];
+        for _ in 0..20 {
+            votes[warm.select_action(&ctx, &mut rng).unwrap().index()] += 1;
+        }
+        assert!(votes[2] >= 15, "warm agent votes: {votes:?}");
+    }
+
+    #[test]
+    fn refresh_from_merges_later_central_updates() {
+        let enc = encoder(4);
+        let cfg = config();
+        let mut agent = LocalAgent::new(5, &cfg, Arc::clone(&enc), None).unwrap();
+        let central = LinUcb::new(cfg.central_linucb(enc.as_ref())).unwrap();
+        let before = agent.policy().observations();
+        agent.refresh_from(&central).unwrap();
+        assert_eq!(agent.policy().observations(), before);
+    }
+
+    #[test]
+    fn rejects_out_of_range_rewards() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut agent = LocalAgent::new(6, &config(), encoder(5), None).unwrap();
+        let ctx = Vector::filled(4, 0.25);
+        let action = agent.select_action(&ctx, &mut rng).unwrap();
+        assert!(agent.observe_reward(&ctx, action, 1.5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Privacy-Preserving Bandits (P2B): the paper's core system.
+//!
+//! P2B lets local contextual-bandit agents benefit from each other's feedback
+//! without revealing individual interactions. Every user runs a
+//! [`LocalAgent`]: a LinUCB policy plus an encoder and a randomized reporter.
+//! After `T` local interactions the agent, with probability `p`, encodes one
+//! interaction as the anonymous tuple `(y, a, r)` and submits it to the
+//! trusted shuffler. The shuffler anonymizes, shuffles and thresholds batches
+//! of tuples; the [`CentralServer`] folds surviving tuples into a global
+//! LinUCB model which fresh agents merge at start-up (warm start).
+//!
+//! The differential-privacy guarantee of the whole pipeline is computed by
+//! [`P2bSystem::privacy_guarantee`] from the participation probability and
+//! the shuffler threshold, following Section 4 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use p2b_core::{P2bConfig, P2bSystem};
+//! use p2b_encoding::{KMeansConfig, KMeansEncoder};
+//! use p2b_linalg::Vector;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // Fit an encoder on a public corpus of normalized contexts.
+//! let corpus: Vec<Vector> = (0..64)
+//!     .map(|i| Vector::from(vec![(i % 8) as f64, 1.0, 2.0]).normalized_l1().unwrap())
+//!     .collect();
+//! let encoder = Arc::new(KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng)?);
+//! let config = P2bConfig::new(3, 5).with_local_interactions(2);
+//! let mut system = P2bSystem::new(config.clone(), encoder)?;
+//!
+//! // A local agent interacts and (maybe) reports.
+//! let mut agent = system.make_agent(&mut rng)?;
+//! for _ in 0..4 {
+//!     let ctx = Vector::from(vec![1.0, 0.5, 0.25]).normalized_l1()?;
+//!     let action = agent.select_action(&ctx, &mut rng)?;
+//!     agent.observe_reward(&ctx, action, 1.0, &mut rng)?;
+//! }
+//! system.collect_from(&mut agent);
+//! let stats = system.flush_round(&mut rng)?;
+//! assert!(stats.received <= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod config;
+mod error;
+mod reporter;
+mod server;
+mod system;
+
+pub use agent::LocalAgent;
+pub use config::{CodeRepresentation, P2bConfig};
+pub use error::CoreError;
+pub use reporter::{PendingReport, RandomizedReporter};
+pub use server::CentralServer;
+pub use system::{P2bSystem, RoundStats};

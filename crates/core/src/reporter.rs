@@ -1,0 +1,205 @@
+//! Randomized data reporting (Section 3.1 of the paper).
+
+use p2b_bandit::Action;
+use p2b_encoding::ContextCode;
+use p2b_privacy::Participation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An interaction the agent has decided to share, before it is wrapped into a
+/// wire-format [`p2b_shuffler::RawReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingReport {
+    /// Encoded context code `y`.
+    pub code: usize,
+    /// Proposed action `a`.
+    pub action: usize,
+    /// Observed reward `r`.
+    pub reward: f64,
+}
+
+/// The randomized participation mechanism.
+///
+/// After every `T` local interactions the reporter flips a `p`-biased coin;
+/// on success it emits the most recent interaction as a [`PendingReport`].
+/// Randomizing both *whether* and *when* data is shared is what provides the
+/// pre-sampling the privacy analysis relies on, and it additionally blurs the
+/// timing side channel of the reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedReporter {
+    participation: Participation,
+    interval: u64,
+    interactions_seen: u64,
+    opportunities: u64,
+    reports_emitted: u64,
+}
+
+impl RandomizedReporter {
+    /// Creates a reporter that considers sharing after every `interval`
+    /// interactions and participates with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`; the [`crate::P2bConfig`] validation
+    /// guarantees this never happens when constructed through the system.
+    #[must_use]
+    pub fn new(participation: Participation, interval: u64) -> Self {
+        assert!(interval > 0, "reporting interval must be at least 1");
+        Self {
+            participation,
+            interval,
+            interactions_seen: 0,
+            opportunities: 0,
+            reports_emitted: 0,
+        }
+    }
+
+    /// The participation probability `p`.
+    #[must_use]
+    pub fn participation(&self) -> Participation {
+        self.participation
+    }
+
+    /// The reporting interval `T`.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of interactions observed so far.
+    #[must_use]
+    pub fn interactions_seen(&self) -> u64 {
+        self.interactions_seen
+    }
+
+    /// Number of reporting opportunities so far (one per `T` interactions).
+    #[must_use]
+    pub fn opportunities(&self) -> u64 {
+        self.opportunities
+    }
+
+    /// Number of reports actually emitted.
+    #[must_use]
+    pub fn reports_emitted(&self) -> u64 {
+        self.reports_emitted
+    }
+
+    /// Records one local interaction; every `T` interactions this becomes a
+    /// reporting opportunity and, with probability `p`, the interaction is
+    /// returned for sharing.
+    pub fn observe<R: Rng + ?Sized>(
+        &mut self,
+        code: ContextCode,
+        action: Action,
+        reward: f64,
+        rng: &mut R,
+    ) -> Option<PendingReport> {
+        self.interactions_seen += 1;
+        if self.interactions_seen % self.interval != 0 {
+            return None;
+        }
+        self.opportunities += 1;
+        if rng.gen::<f64>() >= self.participation.value() {
+            return None;
+        }
+        self.reports_emitted += 1;
+        Some(PendingReport {
+            code: code.value(),
+            action: action.index(),
+            reward,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reporter(p: f64, interval: u64) -> RandomizedReporter {
+        RandomizedReporter::new(Participation::new(p).unwrap(), interval)
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        let _ = RandomizedReporter::new(Participation::new(0.5).unwrap(), 0);
+    }
+
+    #[test]
+    fn no_report_before_the_interval_elapses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = reporter(0.999, 5);
+        for i in 1..5 {
+            assert!(
+                r.observe(ContextCode::new(0), Action::new(0), 1.0, &mut rng)
+                    .is_none(),
+                "reported early at interaction {i}"
+            );
+        }
+        assert_eq!(r.opportunities(), 0);
+    }
+
+    #[test]
+    fn reports_carry_the_latest_interaction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = reporter(0.999, 2);
+        assert!(r
+            .observe(ContextCode::new(3), Action::new(1), 0.25, &mut rng)
+            .is_none());
+        let report = r
+            .observe(ContextCode::new(7), Action::new(4), 0.75, &mut rng)
+            .expect("participation is nearly certain");
+        assert_eq!(report.code, 7);
+        assert_eq!(report.action, 4);
+        assert!((report.reward - 0.75).abs() < 1e-12);
+        assert_eq!(r.reports_emitted(), 1);
+    }
+
+    #[test]
+    fn participation_rate_is_respected_empirically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = reporter(0.5, 1);
+        let mut emitted = 0usize;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if r.observe(ContextCode::new(0), Action::new(0), 1.0, &mut rng)
+                .is_some()
+            {
+                emitted += 1;
+            }
+        }
+        let rate = emitted as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.03, "observed rate {rate}");
+        assert_eq!(r.opportunities(), trials as u64);
+        assert_eq!(r.reports_emitted(), emitted as u64);
+    }
+
+    #[test]
+    fn low_participation_rarely_reports() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = reporter(0.01, 1);
+        let mut emitted = 0usize;
+        for _ in 0..1000 {
+            if r.observe(ContextCode::new(0), Action::new(0), 1.0, &mut rng)
+                .is_some()
+            {
+                emitted += 1;
+            }
+        }
+        assert!(emitted < 50, "emitted {emitted} reports at p = 0.01");
+    }
+
+    #[test]
+    fn interval_counts_opportunities_not_interactions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut r = reporter(0.5, 10);
+        for _ in 0..100 {
+            let _ = r.observe(ContextCode::new(0), Action::new(0), 1.0, &mut rng);
+        }
+        assert_eq!(r.interactions_seen(), 100);
+        assert_eq!(r.opportunities(), 10);
+        assert!(r.reports_emitted() <= 10);
+    }
+}

@@ -1,0 +1,231 @@
+//! The central model server.
+
+use crate::{CodeRepresentation, CoreError, P2bConfig};
+use p2b_bandit::{Action, ContextualPolicy, LinUcb};
+use p2b_encoding::{ContextCode, Encoder};
+use p2b_linalg::Vector;
+use p2b_shuffler::ShuffledBatch;
+use std::sync::Arc;
+
+/// The analyzer/server of the ESA pipeline: it receives anonymized,
+/// shuffled, thresholded tuples `(y, a, r)` and folds them into a central
+/// LinUCB model that local agents use as their warm start.
+///
+/// For the non-private baseline (agents sharing raw contexts) the server also
+/// accepts raw tuples through [`CentralServer::ingest_raw`]; that path is
+/// only valid when the code representation is
+/// [`CodeRepresentation::Centroid`], because otherwise the central model's
+/// context space is the code space and raw contexts have the wrong dimension.
+#[derive(Debug, Clone)]
+pub struct CentralServer {
+    model: LinUcb,
+    encoder: Arc<dyn Encoder>,
+    representation: CodeRepresentation,
+    ingested_reports: u64,
+}
+
+impl CentralServer {
+    /// Creates an empty central server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EncoderMismatch`] if the encoder's context
+    /// dimension does not match the configuration, or configuration errors.
+    pub fn new(config: &P2bConfig, encoder: Arc<dyn Encoder>) -> Result<Self, CoreError> {
+        config.validate()?;
+        if encoder.context_dimension() != config.context_dimension {
+            return Err(CoreError::EncoderMismatch {
+                expected: config.context_dimension,
+                found: encoder.context_dimension(),
+            });
+        }
+        let model = LinUcb::new(config.central_linucb(encoder.as_ref()))?;
+        Ok(Self {
+            model,
+            encoder,
+            representation: config.code_representation,
+            ingested_reports: 0,
+        })
+    }
+
+    /// The number of report tuples folded into the model so far.
+    #[must_use]
+    pub fn ingested_reports(&self) -> u64 {
+        self.ingested_reports
+    }
+
+    /// Borrows the central model.
+    #[must_use]
+    pub fn model(&self) -> &LinUcb {
+        &self.model
+    }
+
+    /// Clones the central model for distribution to a local agent.
+    #[must_use]
+    pub fn snapshot(&self) -> LinUcb {
+        self.model.clone()
+    }
+
+    /// Folds one shuffled batch into the central model.
+    ///
+    /// Reports whose code or action fall outside the configured ranges are
+    /// counted as rejected rather than aborting the whole batch: in a
+    /// deployment the server cannot assume every client is well behaved.
+    /// Returns the number of accepted reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Bandit`]/[`CoreError::Linalg`] only for internal
+    /// model failures, not for malformed reports.
+    pub fn ingest_batch(&mut self, batch: &ShuffledBatch) -> Result<u64, CoreError> {
+        let mut accepted = 0u64;
+        for report in batch.reports() {
+            if report.code() >= self.encoder.num_codes()
+                || report.action() >= self.model.num_actions()
+            {
+                continue;
+            }
+            let context = self
+                .representation
+                .vector(self.encoder.as_ref(), ContextCode::new(report.code()))?;
+            self.model
+                .update(&context, Action::new(report.action()), report.reward())?;
+            accepted += 1;
+        }
+        self.ingested_reports += accepted;
+        Ok(accepted)
+    }
+
+    /// Folds a raw (non-encoded) interaction into the central model — the
+    /// warm **non-private** baseline where agents share their original
+    /// context vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the representation is not
+    /// [`CodeRepresentation::Centroid`] and policy errors for malformed input.
+    pub fn ingest_raw(
+        &mut self,
+        context: &Vector,
+        action: Action,
+        reward: f64,
+    ) -> Result<(), CoreError> {
+        if self.representation != CodeRepresentation::Centroid {
+            return Err(CoreError::InvalidConfig {
+                parameter: "code_representation",
+                message: "raw ingestion requires the centroid representation".to_owned(),
+            });
+        }
+        self.model.update(context, action, reward)?;
+        self.ingested_reports += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2b_encoding::{KMeansConfig, KMeansEncoder};
+    use p2b_shuffler::{EncodedReport, RawReport, Shuffler, ShufflerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(seed: u64) -> Arc<dyn Encoder> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corpus: Vec<Vector> = (0..60)
+            .map(|i| {
+                let mut v = vec![0.1; 4];
+                v[i % 4] = 1.0;
+                Vector::from(v).normalized_l1().unwrap()
+            })
+            .collect();
+        Arc::new(KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng).unwrap())
+    }
+
+    fn batch(reports: Vec<(usize, usize, f64)>, threshold: usize, seed: u64) -> ShuffledBatch {
+        let shuffler = Shuffler::new(ShufflerConfig::new(threshold)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, (code, action, reward))| {
+                RawReport::new(
+                    format!("a{i}"),
+                    EncodedReport::new(code, action, reward).unwrap(),
+                )
+            })
+            .collect();
+        shuffler.process(raw, &mut rng)
+    }
+
+    #[test]
+    fn rejects_mismatched_encoder() {
+        let cfg = P2bConfig::new(9, 3);
+        assert!(matches!(
+            CentralServer::new(&cfg, encoder(0)),
+            Err(CoreError::EncoderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ingesting_batches_updates_the_model() {
+        let cfg = P2bConfig::new(4, 3);
+        let mut server = CentralServer::new(&cfg, encoder(1)).unwrap();
+        let b = batch(vec![(0, 1, 1.0), (0, 1, 1.0), (1, 2, 0.0)], 1, 2);
+        let accepted = server.ingest_batch(&b).unwrap();
+        assert_eq!(accepted, 3);
+        assert_eq!(server.ingested_reports(), 3);
+        assert_eq!(server.model().observations(), 3);
+    }
+
+    #[test]
+    fn malformed_reports_are_skipped_not_fatal() {
+        let cfg = P2bConfig::new(4, 3);
+        let mut server = CentralServer::new(&cfg, encoder(2)).unwrap();
+        // Code 99 does not exist, action 7 is out of range; both are skipped.
+        let b = batch(vec![(99, 0, 1.0), (0, 7, 1.0), (0, 0, 1.0)], 1, 3);
+        let accepted = server.ingest_batch(&b).unwrap();
+        assert_eq!(accepted, 1);
+        assert_eq!(server.model().observations(), 1);
+    }
+
+    #[test]
+    fn warm_snapshot_reflects_ingested_knowledge() {
+        let cfg = P2bConfig::new(4, 2);
+        let enc = encoder(3);
+        let mut server = CentralServer::new(&cfg, Arc::clone(&enc)).unwrap();
+        // Every report says action 1 is rewarding for code 0.
+        let reports = (0..50).map(|_| (0usize, 1usize, 1.0)).collect::<Vec<_>>();
+        server.ingest_batch(&batch(reports, 1, 4)).unwrap();
+
+        let snapshot = server.snapshot();
+        let ctx = enc.representative(ContextCode::new(0)).unwrap();
+        let scores = snapshot.scores(&ctx).unwrap();
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn raw_ingestion_requires_centroid_representation() {
+        let enc = encoder(4);
+        let centroid_cfg = P2bConfig::new(4, 2);
+        let mut server = CentralServer::new(&centroid_cfg, Arc::clone(&enc)).unwrap();
+        let ctx = Vector::filled(4, 0.25);
+        assert!(server.ingest_raw(&ctx, Action::new(0), 1.0).is_ok());
+
+        let onehot_cfg =
+            P2bConfig::new(4, 2).with_code_representation(CodeRepresentation::OneHot);
+        let mut server = CentralServer::new(&onehot_cfg, enc).unwrap();
+        assert!(server.ingest_raw(&ctx, Action::new(0), 1.0).is_err());
+    }
+
+    #[test]
+    fn onehot_representation_sizes_the_model_by_code_count() {
+        let enc = encoder(5);
+        let cfg = P2bConfig::new(4, 2).with_code_representation(CodeRepresentation::OneHot);
+        let server = CentralServer::new(&cfg, enc).unwrap();
+        assert_eq!(server.model().context_dimension(), 4); // k = 4 codes
+        let cfg = P2bConfig::new(4, 2);
+        let server = CentralServer::new(&cfg, encoder(5)).unwrap();
+        assert_eq!(server.model().context_dimension(), 4); // d = 4
+    }
+}

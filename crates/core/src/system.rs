@@ -1,0 +1,340 @@
+//! End-to-end wiring of the P2B pipeline.
+
+use crate::{CentralServer, CoreError, LocalAgent, P2bConfig};
+use p2b_encoding::Encoder;
+use p2b_privacy::{amplified_delta, amplified_epsilon, CrowdBlending, PrivacyGuarantee};
+use p2b_shuffler::{RawReport, ShuffledBatch, Shuffler, ShufflerConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Statistics of one server-side collection round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Reports received by the shuffler this round.
+    pub received: usize,
+    /// Reports released by the shuffler after thresholding.
+    pub released: usize,
+    /// Reports dropped by the threshold.
+    pub dropped: usize,
+    /// Reports accepted by the server into the central model.
+    pub accepted: u64,
+}
+
+/// The complete P2B system: configuration, fitted encoder, trusted shuffler
+/// and central server, plus the factory for local agents.
+///
+/// The system object lives on the "infrastructure" side; [`LocalAgent`]s live
+/// on user devices and only communicate through report tuples and model
+/// snapshots, which is exactly the trust boundary the paper draws.
+#[derive(Debug)]
+pub struct P2bSystem {
+    config: P2bConfig,
+    encoder: Arc<dyn Encoder>,
+    shuffler: Shuffler,
+    server: CentralServer,
+    pending: Vec<RawReport>,
+    next_agent_id: u64,
+}
+
+impl P2bSystem {
+    /// Creates a P2B system around a fitted encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration and dimension-mismatch errors; see
+    /// [`P2bConfig::validate`].
+    pub fn new(config: P2bConfig, encoder: Arc<dyn Encoder>) -> Result<Self, CoreError> {
+        config.validate()?;
+        let server = CentralServer::new(&config, Arc::clone(&encoder))?;
+        let shuffler = Shuffler::new(ShufflerConfig::new(config.shuffler_threshold))?;
+        Ok(Self {
+            config,
+            encoder,
+            shuffler,
+            server,
+            pending: Vec::new(),
+            next_agent_id: 0,
+        })
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &P2bConfig {
+        &self.config
+    }
+
+    /// The fitted encoder shared by all agents.
+    #[must_use]
+    pub fn encoder(&self) -> &Arc<dyn Encoder> {
+        &self.encoder
+    }
+
+    /// Borrows the central server.
+    #[must_use]
+    pub fn server(&self) -> &CentralServer {
+        &self.server
+    }
+
+    /// Number of reports waiting for the next shuffling round.
+    #[must_use]
+    pub fn pending_reports(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Creates a *warm* local agent: a fresh policy with the current central
+    /// model merged in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent-construction errors.
+    pub fn make_agent<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> Result<LocalAgent, CoreError> {
+        let id = self.next_agent_id;
+        self.next_agent_id += 1;
+        LocalAgent::new(
+            id,
+            &self.config,
+            Arc::clone(&self.encoder),
+            Some(self.server.model()),
+        )
+    }
+
+    /// Creates a *cold* local agent that never receives the central model —
+    /// the fully local baseline of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent-construction errors.
+    pub fn make_cold_agent(&mut self) -> Result<LocalAgent, CoreError> {
+        let id = self.next_agent_id;
+        self.next_agent_id += 1;
+        LocalAgent::new(id, &self.config, Arc::clone(&self.encoder), None)
+    }
+
+    /// Drains an agent's queued reports into the system's pending batch.
+    pub fn collect_from(&mut self, agent: &mut LocalAgent) {
+        self.pending.extend(agent.take_reports());
+    }
+
+    /// Submits a single raw report directly (used by streaming deployments
+    /// and by tests).
+    pub fn submit_report(&mut self, report: RawReport) {
+        self.pending.push(report);
+    }
+
+    /// Runs one shuffling round over the pending reports and folds the
+    /// surviving tuples into the central model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side model errors.
+    pub fn flush_round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<RoundStats, CoreError> {
+        let batch = self.shuffler.process(std::mem::take(&mut self.pending), rng);
+        let accepted = self.server.ingest_batch(&batch)?;
+        Ok(RoundStats {
+            received: batch.stats().received,
+            released: batch.stats().released,
+            dropped: batch.stats().dropped,
+            accepted,
+        })
+    }
+
+    /// Runs one shuffling round and also returns the released batch, for
+    /// callers that want to audit the shuffler output (e.g. crowd-blending
+    /// verification in tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side model errors.
+    pub fn flush_round_with_batch<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Result<(RoundStats, ShuffledBatch), CoreError> {
+        let batch = self.shuffler.process(std::mem::take(&mut self.pending), rng);
+        let accepted = self.server.ingest_batch(&batch)?;
+        let stats = RoundStats {
+            received: batch.stats().received,
+            released: batch.stats().released,
+            dropped: batch.stats().dropped,
+            accepted,
+        };
+        Ok((stats, batch))
+    }
+
+    /// The crowd-blending parameterization enforced by the shuffler threshold.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a validated configuration.
+    pub fn crowd_blending(&self) -> Result<CrowdBlending, CoreError> {
+        Ok(CrowdBlending::exact(self.config.shuffler_threshold as u64)?)
+    }
+
+    /// The (ε, δ) differential-privacy guarantee of a single reporting
+    /// opportunity under this configuration (Section 4 of the paper):
+    /// ε from Equation 3 with ε̄ = 0, δ from the crowd size enforced by the
+    /// shuffler threshold.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a validated configuration.
+    pub fn privacy_guarantee(&self) -> Result<PrivacyGuarantee, CoreError> {
+        let p = self.config.participation()?;
+        let epsilon = amplified_epsilon(p, 0.0)?;
+        let delta = amplified_delta(
+            p,
+            self.config.shuffler_threshold as u64,
+            self.config.delta_omega,
+        )?;
+        Ok(PrivacyGuarantee::new(epsilon, delta)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2b_bandit::ContextualPolicy;
+    use p2b_encoding::{KMeansConfig, KMeansEncoder};
+    use p2b_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(seed: u64) -> Arc<KMeansEncoder> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corpus: Vec<Vector> = (0..80)
+            .map(|i| {
+                let mut v = vec![0.1; 4];
+                v[i % 4] = 1.0;
+                Vector::from(v).normalized_l1().unwrap()
+            })
+            .collect();
+        Arc::new(KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng).unwrap())
+    }
+
+    fn system(threshold: usize) -> P2bSystem {
+        let config = P2bConfig::new(4, 3)
+            .with_local_interactions(1)
+            .with_shuffler_threshold(threshold);
+        P2bSystem::new(config, encoder(0)).unwrap()
+    }
+
+    #[test]
+    fn privacy_guarantee_matches_the_paper_headline() {
+        let system = system(10);
+        let guarantee = system.privacy_guarantee().unwrap();
+        assert!((guarantee.epsilon() - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(guarantee.delta() > 0.0 && guarantee.delta() < 1.0);
+        assert_eq!(system.crowd_blending().unwrap().crowd_size(), 10);
+    }
+
+    #[test]
+    fn end_to_end_round_trip_updates_the_central_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut system = system(2);
+        // Many agents interact with the same strongly-clustered context and
+        // always receive reward 1 for action 0.
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+        for _ in 0..40 {
+            let mut agent = system.make_agent(&mut rng).unwrap();
+            for _ in 0..4 {
+                let action = agent.select_action(&ctx, &mut rng).unwrap();
+                let reward = if action.index() == 0 { 1.0 } else { 0.0 };
+                agent.observe_reward(&ctx, action, reward, &mut rng).unwrap();
+            }
+            system.collect_from(&mut agent);
+        }
+        assert!(system.pending_reports() > 0);
+        let stats = system.flush_round(&mut rng).unwrap();
+        assert_eq!(stats.received, stats.released + stats.dropped);
+        assert!(stats.accepted > 0);
+        assert_eq!(system.server().ingested_reports(), stats.accepted);
+        assert!(system.server().model().observations() > 0);
+        assert_eq!(system.pending_reports(), 0);
+    }
+
+    #[test]
+    fn thresholding_enforces_crowd_blending_on_released_batches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut system = system(5);
+        let contexts: Vec<Vector> = (0..4)
+            .map(|i| {
+                let mut v = vec![0.1; 4];
+                v[i] = 1.0;
+                Vector::from(v).normalized_l1().unwrap()
+            })
+            .collect();
+        for a in 0..30 {
+            let mut agent = system.make_agent(&mut rng).unwrap();
+            let ctx = &contexts[a % contexts.len()];
+            for _ in 0..2 {
+                let action = agent.select_action(ctx, &mut rng).unwrap();
+                agent.observe_reward(ctx, action, 0.5, &mut rng).unwrap();
+            }
+            system.collect_from(&mut agent);
+        }
+        let (_, batch) = system.flush_round_with_batch(&mut rng).unwrap();
+        let codes: Vec<usize> = batch.reports().iter().map(|r| r.code()).collect();
+        let crowd = system.crowd_blending().unwrap();
+        assert!(crowd.is_satisfied_by(&codes));
+    }
+
+    #[test]
+    fn warm_agents_start_from_the_central_model() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut system = system(1);
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+
+        // Phase 1: a population of agents teaches the server that action 2 pays.
+        for _ in 0..60 {
+            let mut agent = system.make_agent(&mut rng).unwrap();
+            for _ in 0..3 {
+                let action = agent.select_action(&ctx, &mut rng).unwrap();
+                let reward = if action.index() == 2 { 1.0 } else { 0.0 };
+                agent.observe_reward(&ctx, action, reward, &mut rng).unwrap();
+            }
+            system.collect_from(&mut agent);
+        }
+        system.flush_round(&mut rng).unwrap();
+
+        // Phase 2: a fresh warm agent should prefer action 2 immediately,
+        // while a cold agent spreads its choices.
+        let mut warm = system.make_agent(&mut rng).unwrap();
+        let mut warm_votes = [0usize; 3];
+        for _ in 0..30 {
+            warm_votes[warm.select_action(&ctx, &mut rng).unwrap().index()] += 1;
+        }
+        assert!(
+            warm_votes[2] > 20,
+            "warm agent should exploit the shared model: {warm_votes:?}"
+        );
+
+        let mut cold = system.make_cold_agent().unwrap();
+        let mut cold_votes = [0usize; 3];
+        for _ in 0..30 {
+            cold_votes[cold.select_action(&ctx, &mut rng).unwrap().index()] += 1;
+        }
+        assert!(
+            cold_votes[2] < 25,
+            "cold agent should not already know the answer: {cold_votes:?}"
+        );
+    }
+
+    #[test]
+    fn agent_ids_are_unique() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut system = system(1);
+        let a = system.make_agent(&mut rng).unwrap();
+        let b = system.make_cold_agent().unwrap();
+        let c = system.make_agent(&mut rng).unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_ne!(b.id(), c.id());
+    }
+
+    #[test]
+    fn flush_with_no_pending_reports_is_a_no_op() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut system = system(3);
+        let stats = system.flush_round(&mut rng).unwrap();
+        assert_eq!(stats, RoundStats::default());
+    }
+}

@@ -1,0 +1,121 @@
+//! The contextual-environment abstraction driven by the simulation engine.
+
+use crate::DatasetError;
+use p2b_linalg::Vector;
+use rand::RngCore;
+
+/// A stochastic contextual-bandit environment.
+///
+/// At each round the environment produces a context; the agent proposes an
+/// action; the environment reveals the (bandit-feedback) reward of that
+/// action only. Environments also expose the *expected* reward of every
+/// action so the harness can compute the per-round optimum and hence regret,
+/// something the real world would not reveal but a simulator can.
+///
+/// The trait is object-safe so experiments can hold `Box<dyn ContextualEnvironment>`.
+pub trait ContextualEnvironment: Send {
+    /// Dimension of the context vectors produced by this environment.
+    fn context_dimension(&self) -> usize;
+
+    /// Number of actions an agent may propose.
+    fn num_actions(&self) -> usize;
+
+    /// Draws the next context.
+    fn sample_context(&mut self, rng: &mut dyn RngCore) -> Vector;
+
+    /// Samples the reward of proposing `action` under `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidAction`] when the action is out of
+    /// range and [`DatasetError::Linalg`] when the context is malformed.
+    fn sample_reward(
+        &mut self,
+        context: &Vector,
+        action: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, DatasetError>;
+
+    /// Expected reward of `action` under `context` (no noise).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Self::sample_reward`].
+    fn expected_reward(&self, context: &Vector, action: usize) -> Result<f64, DatasetError>;
+
+    /// Expected reward of the best action under `context` — the per-round
+    /// optimum used for regret accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Linalg`] when the context is malformed.
+    fn optimal_reward(&self, context: &Vector) -> Result<f64, DatasetError> {
+        let mut best = f64::NEG_INFINITY;
+        for action in 0..self.num_actions() {
+            best = best.max(self.expected_reward(context, action)?);
+        }
+        Ok(best)
+    }
+
+    /// Short human-readable environment name for experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Validates an action index against the environment's action count.
+pub(crate) fn check_action(num_actions: usize, action: usize) -> Result<(), DatasetError> {
+    if action >= num_actions {
+        return Err(DatasetError::InvalidAction {
+            action,
+            num_actions,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal deterministic environment used to test the default method.
+    struct Toy;
+
+    impl ContextualEnvironment for Toy {
+        fn context_dimension(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            3
+        }
+        fn sample_context(&mut self, _rng: &mut dyn RngCore) -> Vector {
+            Vector::from(vec![1.0])
+        }
+        fn sample_reward(
+            &mut self,
+            context: &Vector,
+            action: usize,
+            _rng: &mut dyn RngCore,
+        ) -> Result<f64, DatasetError> {
+            self.expected_reward(context, action)
+        }
+        fn expected_reward(&self, _context: &Vector, action: usize) -> Result<f64, DatasetError> {
+            check_action(3, action)?;
+            Ok(action as f64 / 4.0)
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn optimal_reward_is_the_max_over_actions() {
+        let toy = Toy;
+        let ctx = Vector::from(vec![1.0]);
+        assert!((toy.optimal_reward(&ctx).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_action_validates_range() {
+        assert!(check_action(3, 2).is_ok());
+        assert!(check_action(3, 3).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the dataset substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by dataset generators and environments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// A request asked for more data than the dataset contains.
+    InsufficientData {
+        /// Number of samples requested.
+        requested: usize,
+        /// Number of samples available.
+        available: usize,
+    },
+    /// An action index was outside the environment's action space.
+    InvalidAction {
+        /// Offending action index.
+        action: usize,
+        /// Number of actions in the environment.
+        num_actions: usize,
+    },
+    /// An underlying numeric operation failed.
+    Linalg(p2b_linalg::LinalgError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for `{parameter}`: {message}")
+            }
+            DatasetError::InsufficientData {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient data: {requested} samples requested, {available} available"
+            ),
+            DatasetError::InvalidAction {
+                action,
+                num_actions,
+            } => write!(
+                f,
+                "action index {action} out of range for {num_actions} actions"
+            ),
+            DatasetError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<p2b_linalg::LinalgError> for DatasetError {
+    fn from(e: p2b_linalg::LinalgError) -> Self {
+        DatasetError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DatasetError::InsufficientData {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = DatasetError::InvalidAction {
+            action: 50,
+            num_actions: 40,
+        };
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<DatasetError>();
+    }
+}

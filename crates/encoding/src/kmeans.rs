@@ -1,0 +1,364 @@
+//! Mini-batch k-means encoder (Sculley 2010).
+
+use crate::encoder::{check_code, check_dimension};
+use crate::{ContextCode, Encoder, EncoderStats, EncodingError};
+use p2b_linalg::Vector;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`KMeansEncoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters / codes `k`.
+    pub num_codes: usize,
+    /// Mini-batch size per iteration (Sculley 2010 uses small batches; the
+    /// whole corpus is used when it is smaller than the batch).
+    pub batch_size: usize,
+    /// Number of mini-batch iterations.
+    pub iterations: usize,
+    /// Convergence tolerance on the mean centroid movement per iteration.
+    pub tolerance: f64,
+}
+
+impl KMeansConfig {
+    /// Creates a configuration with `num_codes` clusters and the defaults
+    /// `batch_size = 256`, `iterations = 100`, `tolerance = 1e-6`.
+    #[must_use]
+    pub fn new(num_codes: usize) -> Self {
+        Self {
+            num_codes,
+            batch_size: 256,
+            iterations: 100,
+            tolerance: 1e-6,
+        }
+    }
+
+    /// Sets the mini-batch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the number of iterations.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    fn validate(&self) -> Result<(), EncodingError> {
+        if self.num_codes == 0 {
+            return Err(EncodingError::InvalidConfig {
+                parameter: "num_codes",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(EncodingError::InvalidConfig {
+                parameter: "batch_size",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.iterations == 0 {
+            return Err(EncodingError::InvalidConfig {
+                parameter: "iterations",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(EncodingError::InvalidConfig {
+                parameter: "tolerance",
+                message: format!("must be a finite non-negative number, got {}", self.tolerance),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Mini-batch k-means context encoder.
+///
+/// This is the encoder the paper evaluates: contexts are clustered with
+/// web-scale (mini-batch) k-means and each cluster index becomes a context
+/// code. Encoding a fresh context is a nearest-centroid lookup with `O(k·d)`
+/// cost, matching the complexity the paper quotes for on-device inference.
+///
+/// The encoder is fitted once on a training corpus; [`KMeansEncoder::stats`]
+/// then reports the minimum cluster size, which the privacy analysis uses as
+/// the crowd-blending parameter `l`.
+#[derive(Debug, Clone)]
+pub struct KMeansEncoder {
+    centroids: Vec<Vector>,
+    stats: EncoderStats,
+    dimension: usize,
+}
+
+impl KMeansEncoder {
+    /// Fits the encoder on a corpus of context vectors.
+    ///
+    /// Initialization picks `k` distinct samples uniformly at random
+    /// (k-means++ style seeding is unnecessary at the small `k` values used
+    /// by the paper, and random seeding keeps the fit `O(k·d)` per step).
+    /// Mini-batch updates follow Sculley (2010): each centroid moves towards
+    /// assigned batch points with a per-centroid learning rate `1/count`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EncodingError::InvalidConfig`] for invalid configurations.
+    /// * [`EncodingError::InsufficientData`] if the corpus has fewer samples
+    ///   than clusters.
+    /// * [`EncodingError::DimensionMismatch`] if corpus vectors have unequal
+    ///   dimensions.
+    pub fn fit<R: Rng + ?Sized>(
+        corpus: &[Vector],
+        config: KMeansConfig,
+        rng: &mut R,
+    ) -> Result<Self, EncodingError> {
+        config.validate()?;
+        if corpus.len() < config.num_codes {
+            return Err(EncodingError::InsufficientData {
+                samples: corpus.len(),
+                required: config.num_codes,
+            });
+        }
+        let dimension = corpus[0].len();
+        for sample in corpus {
+            check_dimension(dimension, sample)?;
+        }
+
+        // Random distinct initialization.
+        let mut indices: Vec<usize> = (0..corpus.len()).collect();
+        indices.shuffle(rng);
+        let mut centroids: Vec<Vector> = indices[..config.num_codes]
+            .iter()
+            .map(|&i| corpus[i].clone())
+            .collect();
+        let mut counts = vec![0u64; config.num_codes];
+
+        for _ in 0..config.iterations {
+            // Sample a mini-batch (with replacement when the corpus is large,
+            // the whole corpus otherwise).
+            let batch: Vec<&Vector> = if corpus.len() <= config.batch_size {
+                corpus.iter().collect()
+            } else {
+                (0..config.batch_size)
+                    .map(|_| &corpus[rng.gen_range(0..corpus.len())])
+                    .collect()
+            };
+
+            // Assign then update with per-centroid learning rates.
+            let mut movement = 0.0;
+            for sample in batch {
+                let (best, _) = nearest_centroid(&centroids, sample)?;
+                counts[best] += 1;
+                let rate = 1.0 / counts[best] as f64;
+                let old = centroids[best].clone();
+                // centroid += rate * (sample - centroid)
+                let delta = sample.sub(&centroids[best])?;
+                centroids[best].axpy(rate, &delta)?;
+                movement += centroids[best].squared_distance(&old)?.sqrt();
+            }
+            if movement / config.num_codes as f64 <= config.tolerance {
+                break;
+            }
+        }
+
+        // Final full assignment for the statistics.
+        let mut assignments = Vec::with_capacity(corpus.len());
+        let mut distortions = Vec::with_capacity(corpus.len());
+        for sample in corpus {
+            let (best, dist) = nearest_centroid(&centroids, sample)?;
+            assignments.push(best);
+            distortions.push(dist);
+        }
+        let stats = EncoderStats::from_assignments(config.num_codes, &assignments, &distortions);
+
+        Ok(Self {
+            centroids,
+            stats,
+            dimension,
+        })
+    }
+
+    /// The fitted cluster centroids, one per code.
+    #[must_use]
+    pub fn centroids(&self) -> &[Vector] {
+        &self.centroids
+    }
+}
+
+/// Finds the nearest centroid and its squared distance.
+fn nearest_centroid(centroids: &[Vector], sample: &Vector) -> Result<(usize, f64), EncodingError> {
+    let mut best = 0usize;
+    let mut best_dist = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let dist = c.squared_distance(sample)?;
+        if dist < best_dist {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    Ok((best, best_dist))
+}
+
+impl Encoder for KMeansEncoder {
+    fn num_codes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    fn context_dimension(&self) -> usize {
+        self.dimension
+    }
+
+    fn encode(&self, context: &Vector) -> Result<ContextCode, EncodingError> {
+        check_dimension(self.dimension, context)?;
+        let (best, _) = nearest_centroid(&self.centroids, context)?;
+        Ok(ContextCode::new(best))
+    }
+
+    fn representative(&self, code: ContextCode) -> Result<Vector, EncodingError> {
+        check_code(self.centroids.len(), code)?;
+        Ok(self.centroids[code.value()].clone())
+    }
+
+    fn stats(&self) -> &EncoderStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a corpus with `clusters` well-separated groups on the simplex.
+    fn clustered_corpus(clusters: usize, per_cluster: usize, rng: &mut StdRng) -> Vec<Vector> {
+        let mut corpus = Vec::new();
+        for c in 0..clusters {
+            for _ in 0..per_cluster {
+                let mut v = vec![0.05; clusters];
+                v[c] = 1.0 + rng.gen_range(-0.05..0.05);
+                corpus.push(Vector::from(v).normalized_l1().unwrap());
+            }
+        }
+        corpus
+    }
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let corpus = vec![Vector::from(vec![1.0, 0.0]); 10];
+        assert!(KMeansEncoder::fit(&corpus, KMeansConfig::new(0), &mut rng).is_err());
+        assert!(
+            KMeansEncoder::fit(&corpus, KMeansConfig::new(2).with_batch_size(0), &mut rng).is_err()
+        );
+        assert!(
+            KMeansEncoder::fit(&corpus, KMeansConfig::new(2).with_iterations(0), &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_insufficient_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let corpus = vec![Vector::from(vec![1.0, 0.0]); 3];
+        assert!(matches!(
+            KMeansEncoder::fit(&corpus, KMeansConfig::new(8), &mut rng),
+            Err(EncodingError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_corpus() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let corpus = vec![Vector::zeros(2), Vector::zeros(3)];
+        assert!(matches!(
+            KMeansEncoder::fit(&corpus, KMeansConfig::new(2), &mut rng),
+            Err(EncodingError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let corpus = clustered_corpus(4, 50, &mut rng);
+        let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng).unwrap();
+
+        // Samples from the same generating cluster should map to the same code,
+        // and different clusters to different codes.
+        let codes: Vec<usize> = corpus
+            .iter()
+            .map(|x| encoder.encode(x).unwrap().value())
+            .collect();
+        for c in 0..4 {
+            let group = &codes[c * 50..(c + 1) * 50];
+            let first = group[0];
+            assert!(
+                group.iter().filter(|&&g| g == first).count() >= 45,
+                "cluster {c} fragmented: {group:?}"
+            );
+        }
+        let distinct: std::collections::HashSet<_> = (0..4).map(|c| codes[c * 50]).collect();
+        assert_eq!(distinct.len(), 4, "clusters collapsed");
+    }
+
+    #[test]
+    fn stats_reflect_cluster_structure() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let corpus = clustered_corpus(3, 30, &mut rng);
+        let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(3), &mut rng).unwrap();
+        let stats = encoder.stats();
+        assert_eq!(stats.num_codes, 3);
+        assert_eq!(stats.cluster_sizes.iter().sum::<usize>(), 90);
+        assert!(stats.min_cluster_size >= 25, "stats = {stats:?}");
+        assert!(stats.mean_distortion < 0.05);
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = clustered_corpus(5, 20, &mut rng);
+        let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(5), &mut rng).unwrap();
+        for x in &corpus {
+            let a = encoder.encode(x).unwrap();
+            let b = encoder.encode(x).unwrap();
+            assert_eq!(a, b);
+            assert!(a.value() < 5);
+        }
+    }
+
+    #[test]
+    fn representative_is_centroid_and_validates_code() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = clustered_corpus(2, 20, &mut rng);
+        let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(2), &mut rng).unwrap();
+        let rep = encoder.representative(ContextCode::new(1)).unwrap();
+        assert_eq!(rep.len(), encoder.context_dimension());
+        assert!(encoder.representative(ContextCode::new(2)).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_wrong_dimension() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = clustered_corpus(2, 20, &mut rng);
+        let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(2), &mut rng).unwrap();
+        assert!(encoder.encode(&Vector::zeros(7)).is_err());
+    }
+
+    #[test]
+    fn single_cluster_degenerates_gracefully() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let corpus = clustered_corpus(3, 10, &mut rng);
+        let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(1), &mut rng).unwrap();
+        assert_eq!(encoder.num_codes(), 1);
+        for x in &corpus {
+            assert_eq!(encoder.encode(x).unwrap().value(), 0);
+        }
+        assert_eq!(encoder.stats().min_cluster_size, 30);
+    }
+}

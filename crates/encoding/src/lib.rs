@@ -1,0 +1,61 @@
+//! Context encoding for Privacy-Preserving Bandits.
+//!
+//! Before an interaction tuple leaves the device, the local agent encodes its
+//! `d`-dimensional context vector `x` into a code `y ∈ {0, …, k−1}`
+//! (Section 3.2 of the paper). The encoding pipeline is:
+//!
+//! 1. **Normalization & quantization** — contexts are normalized (entries sum
+//!    to one) and represented with `q` decimal digits of precision
+//!    ([`QuantizedContext`]). The set of representable contexts is finite and
+//!    its cardinality follows the stars-and-bars formula of Eq. (1),
+//!    implemented by [`simplex_cardinality`].
+//! 2. **Clustering** — nearby contexts are mapped to the same code. The paper
+//!    uses mini-batch k-means ([`KMeansEncoder`], Sculley 2010); a uniform
+//!    [`GridEncoder`] and a sign-random-projection [`LshEncoder`] are included
+//!    for the "alternative encoders" the paper leaves to future work.
+//!
+//! Every encoder reports the size of its smallest cluster, which is the
+//! crowd-blending parameter `l` used by the privacy analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use p2b_encoding::{Encoder, KMeansEncoder, KMeansConfig, Quantizer};
+//! use p2b_linalg::Vector;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), p2b_encoding::EncodingError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let quantizer = Quantizer::new(1)?;
+//! // A tiny corpus of 3-dimensional normalized contexts.
+//! let corpus: Vec<Vector> = (0..60)
+//!     .map(|i| {
+//!         let a = (i % 10) as f64;
+//!         Vector::from(vec![a, 10.0 - a, 1.0]).normalized_l1().unwrap()
+//!     })
+//!     .collect();
+//! let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng)?;
+//! let code = encoder.encode(&corpus[0])?;
+//! assert!(code.value() < 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encoder;
+mod error;
+mod grid;
+mod kmeans;
+mod lsh;
+mod quantize;
+mod simplex;
+
+pub use encoder::{ContextCode, Encoder, EncoderStats};
+pub use error::EncodingError;
+pub use grid::GridEncoder;
+pub use kmeans::{KMeansConfig, KMeansEncoder};
+pub use lsh::{LshConfig, LshEncoder};
+pub use quantize::{QuantizedContext, Quantizer};
+pub use simplex::{enumerate_simplex_grid, simplex_cardinality};

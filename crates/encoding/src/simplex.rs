@@ -1,0 +1,203 @@
+//! Stars-and-bars enumeration of the fixed-precision simplex grid.
+
+use crate::{EncodingError, QuantizedContext};
+
+/// Cardinality of the set of normalized `d`-dimensional context vectors with
+/// `q` decimal digits of precision — Equation (1) of the paper:
+///
+/// ```text
+/// n = C(10^q + d − 1, d − 1)
+/// ```
+///
+/// # Errors
+///
+/// Returns [`EncodingError::CardinalityOverflow`] when the binomial
+/// coefficient does not fit in `u128` and [`EncodingError::InvalidConfig`]
+/// when `dimension == 0` or `precision == 0`.
+///
+/// ```
+/// // The paper's Figure 2 example: d = 3, q = 1 gives n = 66.
+/// assert_eq!(p2b_encoding::simplex_cardinality(3, 1).unwrap(), 66);
+/// ```
+pub fn simplex_cardinality(dimension: usize, precision: u32) -> Result<u128, EncodingError> {
+    if dimension == 0 {
+        return Err(EncodingError::InvalidConfig {
+            parameter: "dimension",
+            message: "must be at least 1".to_owned(),
+        });
+    }
+    if precision == 0 {
+        return Err(EncodingError::InvalidConfig {
+            parameter: "precision",
+            message: "must be at least 1".to_owned(),
+        });
+    }
+    let units = 10u128.pow(precision);
+    let n = units + dimension as u128 - 1;
+    let k = dimension as u128 - 1;
+    binomial(n, k).ok_or(EncodingError::CardinalityOverflow {
+        precision,
+        dimension,
+    })
+}
+
+/// Overflow-checked binomial coefficient `C(n, k)` in `u128`.
+fn binomial(n: u128, k: u128) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        // result *= (n - i); result /= (i + 1);  — interleaved to limit growth,
+        // dividing by the GCD first so the intermediate product stays exact.
+        let numerator = n - i;
+        let denominator = i + 1;
+        let g = gcd(result, denominator);
+        let reduced_result = result / g;
+        let reduced_denominator = denominator / g;
+        let g2 = gcd(numerator, reduced_denominator);
+        let reduced_numerator = numerator / g2;
+        debug_assert_eq!(reduced_denominator / g2 * g2, reduced_denominator);
+        let final_denominator = reduced_denominator / g2;
+        debug_assert_eq!(final_denominator, 1, "binomial arithmetic stays exact");
+        result = reduced_result.checked_mul(reduced_numerator)?;
+    }
+    Some(result)
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Enumerates every grid point of the `d`-dimensional simplex at precision
+/// `q`, i.e. every vector of non-negative integers summing to `10^q`.
+///
+/// The number of points equals [`simplex_cardinality`]; the enumeration is
+/// the ground truth used by Figure 2 and by the "optimal encoder" analysis in
+/// Section 4, where each of the `k` codes should cover `n / k` grid points.
+///
+/// # Errors
+///
+/// Returns [`EncodingError::InvalidConfig`] for zero dimension/precision and
+/// [`EncodingError::CardinalityOverflow`] when the grid exceeds
+/// `max_points`, to protect against accidentally materializing astronomically
+/// large grids.
+pub fn enumerate_simplex_grid(
+    dimension: usize,
+    precision: u32,
+    max_points: usize,
+) -> Result<Vec<QuantizedContext>, EncodingError> {
+    let cardinality = simplex_cardinality(dimension, precision)?;
+    if cardinality > max_points as u128 {
+        return Err(EncodingError::CardinalityOverflow {
+            precision,
+            dimension,
+        });
+    }
+    let units = 10u64.pow(precision);
+    let mut results = Vec::with_capacity(cardinality as usize);
+    let mut current = vec![0u64; dimension];
+    enumerate_recursive(units, 0, &mut current, &mut results, precision)?;
+    Ok(results)
+}
+
+fn enumerate_recursive(
+    remaining: u64,
+    index: usize,
+    current: &mut Vec<u64>,
+    results: &mut Vec<QuantizedContext>,
+    precision: u32,
+) -> Result<(), EncodingError> {
+    let dimension = current.len();
+    if index == dimension - 1 {
+        current[index] = remaining;
+        results.push(QuantizedContext::from_units(current.clone(), precision)?);
+        return Ok(());
+    }
+    for value in 0..=remaining {
+        current[index] = value;
+        enumerate_recursive(remaining - value, index + 1, current, results, precision)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_dimension_three_precision_one() {
+        // Figure 2: d = 3, q = 1 → n = C(12, 2) = 66.
+        assert_eq!(simplex_cardinality(3, 1).unwrap(), 66);
+    }
+
+    #[test]
+    fn known_small_cardinalities() {
+        // d = 1: only one point regardless of precision.
+        assert_eq!(simplex_cardinality(1, 1).unwrap(), 1);
+        // d = 2, q = 1: 11 points (0..=10 units in the first slot).
+        assert_eq!(simplex_cardinality(2, 1).unwrap(), 11);
+        // d = 5, q = 1: C(14, 4) = 1001.
+        assert_eq!(simplex_cardinality(5, 1).unwrap(), 1001);
+        // d = 20, q = 1 (the paper's largest synthetic dimension): C(29, 19).
+        assert_eq!(simplex_cardinality(20, 1).unwrap(), 20_030_010);
+    }
+
+    #[test]
+    fn rejects_degenerate_arguments() {
+        assert!(simplex_cardinality(0, 1).is_err());
+        assert!(simplex_cardinality(3, 0).is_err());
+    }
+
+    #[test]
+    fn large_arguments_overflow_gracefully() {
+        // q = 9 with a large dimension overflows u128 and must be reported,
+        // not silently wrapped.
+        assert!(matches!(
+            simplex_cardinality(200, 9),
+            Err(EncodingError::CardinalityOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn enumeration_matches_cardinality() {
+        for (d, q) in [(2usize, 1u32), (3, 1), (4, 1)] {
+            let grid = enumerate_simplex_grid(d, q, 1_000_000).unwrap();
+            assert_eq!(grid.len() as u128, simplex_cardinality(d, q).unwrap());
+            // Every point sums to 10^q and has the right dimension.
+            for point in &grid {
+                assert_eq!(point.units().iter().sum::<u64>(), 10u64.pow(q));
+                assert_eq!(point.dimension(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_produces_distinct_points() {
+        let grid = enumerate_simplex_grid(3, 1, 1000).unwrap();
+        let unique: std::collections::HashSet<_> = grid.iter().map(|p| p.units().to_vec()).collect();
+        assert_eq!(unique.len(), grid.len());
+    }
+
+    #[test]
+    fn enumeration_respects_max_points_guard() {
+        assert!(matches!(
+            enumerate_simplex_grid(20, 1, 1000),
+            Err(EncodingError::CardinalityOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+        assert_eq!(binomial(5, 6), Some(0));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+    }
+}

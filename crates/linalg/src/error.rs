@@ -1,0 +1,98 @@
+//! Error type shared by all fallible linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible operations in [`crate`].
+///
+/// The variants carry the offending dimensions so that callers can produce
+/// actionable diagnostics; the `Display` implementation renders a concise
+/// lowercase message per the API guidelines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Shape expected by the operation (rows, cols); vectors use `cols = 1`.
+        expected: (usize, usize),
+        /// Shape actually provided.
+        found: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A matrix that must be (strictly) positive definite was not.
+    NotPositiveDefinite {
+        /// Index of the pivot at which the Cholesky factorization failed.
+        pivot: usize,
+    },
+    /// An operation requiring a non-empty vector or matrix received an empty one.
+    Empty,
+    /// A scalar argument was invalid (NaN, infinite, or out of the documented range).
+    InvalidScalar {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected.
+        value: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, found {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Empty => write!(f, "operation requires a non-empty operand"),
+            LinalgError::InvalidScalar { name, value } => {
+                write!(f, "invalid value {value} for parameter `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch {
+            expected: (3, 3),
+            found: (2, 3),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3x3, found 2x3");
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("2x5"));
+
+        let e = LinalgError::NotPositiveDefinite { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+
+        let e = LinalgError::InvalidScalar {
+            name: "alpha",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<LinalgError>();
+    }
+}

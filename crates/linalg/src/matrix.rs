@@ -1,0 +1,510 @@
+//! Dense row-major matrices.
+
+use crate::{LinalgError, Vector};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// Used for LinUCB's per-arm design matrices `A_a = I + Σ x xᵀ`, for the
+/// synthetic preference weight matrix `W` and for random-projection
+/// dimensionality reduction in the dataset substrate.
+///
+/// # Example
+///
+/// ```
+/// use p2b_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), p2b_linalg::LinalgError> {
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let v = Vector::from(vec![1.0, 1.0]);
+/// assert_eq!(m.matvec(&v)?.as_slice(), &[3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    #[must_use]
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if `rows` is empty and
+    /// [`LinalgError::DimensionMismatch`] if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        let first = rows.first().ok_or(LinalgError::Empty)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: (1, cols),
+                    found: (1, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (rows, cols),
+                found: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies row `row` into a new [`Vector`].
+    #[must_use]
+    pub fn row_vector(&self, row: usize) -> Vector {
+        Vector::from(self.row(row))
+    }
+
+    /// Borrows the flat row-major storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            out.push(acc);
+        }
+        Ok(Vector::from(out))
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &Vector) -> Result<Vector, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let xr = x[r];
+            for (o, a) in out.iter_mut().zip(row.iter()) {
+                *o += a * xr;
+            }
+        }
+        Ok(Vector::from(out))
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.cols, other.cols),
+                found: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) + aik * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    #[must_use]
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                found: (other.rows, other.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Adds another matrix in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<(), LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                found: (other.rows, other.cols),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy scaled by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * factor).collect(),
+        }
+    }
+
+    /// Adds the outer product `scale · x xᵀ` to the matrix in place.
+    ///
+    /// This is the LinUCB design-matrix update `A_a ← A_a + x xᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if the matrix is not square and
+    /// [`LinalgError::DimensionMismatch`] if `x.len()` does not match.
+    pub fn add_outer_product(&mut self, x: &Vector, scale: f64) -> Result<(), LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, 1),
+                found: (x.len(), 1),
+            });
+        }
+        for i in 0..self.rows {
+            let xi = x[i];
+            for j in 0..self.cols {
+                let v = self.get(i, j) + scale * xi * x[j];
+                self.set(i, j, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm (`sqrt(Σ aᵢⱼ²)`).
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if every entry is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute entry-wise difference with another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64, LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                found: (other.rows, other.cols),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>10.4}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let m = Matrix::identity(3);
+        let v = Vector::from(vec![1.0, -2.0, 3.5]);
+        assert_eq!(m.matvec(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(matches!(err, Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn from_flat_checks_length() {
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_manual_computation() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let v = Vector::from(vec![1.0, 0.0, -1.0]);
+        assert_eq!(m.matvec(&v).unwrap().as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let v = Vector::from(vec![1.0, 2.0, 3.0]);
+        let a = m.matvec_transposed(&v).unwrap();
+        let b = m.transposed().matvec(&v).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let prod = m.matmul(&Matrix::identity(2)).unwrap();
+        assert_eq!(prod, m);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn outer_product_update() {
+        let mut a = Matrix::identity(2);
+        let x = Vector::from(vec![1.0, 2.0]);
+        a.add_outer_product(&x, 1.0).unwrap();
+        assert!(approx_eq(a.get(0, 0), 2.0));
+        assert!(approx_eq(a.get(0, 1), 2.0));
+        assert!(approx_eq(a.get(1, 0), 2.0));
+        assert!(approx_eq(a.get(1, 1), 5.0));
+    }
+
+    #[test]
+    fn outer_product_requires_square() {
+        let mut a = Matrix::zeros(2, 3);
+        let x = Vector::from(vec![1.0, 2.0]);
+        assert!(matches!(
+            a.add_outer_product(&x, 1.0),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::identity(2);
+        let b = a.scaled(3.0);
+        let c = a.add(&b).unwrap();
+        assert!(approx_eq(c.get(0, 0), 4.0));
+        assert!(approx_eq(c.get(0, 1), 0.0));
+        let mut d = a.clone();
+        d.add_assign(&b).unwrap();
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let m = Matrix::diagonal(&[1.0, 2.0, 3.0]);
+        assert!(approx_eq(m.get(1, 1), 2.0));
+        assert!(approx_eq(m.get(0, 1), 0.0));
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!(approx_eq(Matrix::identity(4).frobenius_norm(), 2.0));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let a = Matrix::identity(2);
+        let mut b = a.clone();
+        b.set(0, 1, 0.5);
+        assert!(approx_eq(a.max_abs_diff(&b).unwrap(), 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let _ = Matrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn display_contains_shape() {
+        let m = Matrix::identity(2);
+        assert!(format!("{m}").contains("2x2"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Sequential-composition privacy accounting.
+
+use crate::{PrivacyError, PrivacyGuarantee};
+use serde::{Deserialize, Serialize};
+
+/// A single privacy expenditure recorded by the accountant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacySpend {
+    /// Guarantee consumed by the event.
+    pub guarantee: PrivacyGuarantee,
+    /// Free-form label (e.g. `"report"`), used for reporting.
+    pub label: String,
+}
+
+/// Tracks the cumulative (ε, δ) spent by one agent across reports.
+///
+/// The paper's discussion of "Draw and Discard" notes that an agent reporting
+/// `r` tuples enjoys (rε)-DP by sequential composition; this accountant makes
+/// that bookkeeping explicit and optionally enforces a budget so simulations
+/// can refuse to over-report.
+///
+/// ```
+/// use p2b_privacy::{PrivacyAccountant, PrivacyGuarantee};
+///
+/// # fn main() -> Result<(), p2b_privacy::PrivacyError> {
+/// let per_report = PrivacyGuarantee::pure(0.693)?;
+/// let mut accountant = PrivacyAccountant::with_budget(PrivacyGuarantee::pure(2.0)?);
+/// accountant.spend(per_report, "report")?;
+/// accountant.spend(per_report, "report")?;
+/// assert!(accountant.spend(per_report, "report").is_err()); // would exceed 2.0
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyAccountant {
+    spends: Vec<PrivacySpend>,
+    total: PrivacyGuarantee,
+    budget: Option<PrivacyGuarantee>,
+}
+
+impl Default for PrivacyAccountant {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrivacyAccountant {
+    /// Creates an unbounded accountant (no budget enforcement).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            spends: Vec::new(),
+            total: PrivacyGuarantee::pure(0.0).expect("zero epsilon is valid"),
+            budget: None,
+        }
+    }
+
+    /// Creates an accountant that refuses expenditures beyond `budget`.
+    #[must_use]
+    pub fn with_budget(budget: PrivacyGuarantee) -> Self {
+        Self {
+            spends: Vec::new(),
+            total: PrivacyGuarantee::pure(0.0).expect("zero epsilon is valid"),
+            budget: Some(budget),
+        }
+    }
+
+    /// Records a privacy expenditure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::BudgetExceeded`] when a budget is configured
+    /// and the composed total would exceed it (in ε or δ). The expenditure is
+    /// not recorded in that case.
+    pub fn spend(
+        &mut self,
+        guarantee: PrivacyGuarantee,
+        label: impl Into<String>,
+    ) -> Result<(), PrivacyError> {
+        let proposed = self.total.compose(&guarantee);
+        if let Some(budget) = &self.budget {
+            if !proposed.is_at_least_as_strong_as(budget) {
+                return Err(PrivacyError::BudgetExceeded {
+                    budget: budget.epsilon(),
+                    requested: proposed.epsilon(),
+                });
+            }
+        }
+        self.total = proposed;
+        self.spends.push(PrivacySpend {
+            guarantee,
+            label: label.into(),
+        });
+        Ok(())
+    }
+
+    /// The total (ε, δ) spent so far under sequential composition.
+    #[must_use]
+    pub fn total(&self) -> PrivacyGuarantee {
+        self.total
+    }
+
+    /// Number of recorded expenditures.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.spends.len()
+    }
+
+    /// Iterates over the recorded expenditures in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, PrivacySpend> {
+        self.spends.iter()
+    }
+
+    /// The remaining ε before the budget is exhausted (`None` when unbounded).
+    #[must_use]
+    pub fn remaining_epsilon(&self) -> Option<f64> {
+        self.budget
+            .as_ref()
+            .map(|b| (b.epsilon() - self.total.epsilon()).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(eps: f64) -> PrivacyGuarantee {
+        PrivacyGuarantee::pure(eps).unwrap()
+    }
+
+    #[test]
+    fn unbounded_accountant_accumulates_epsilon() {
+        let mut acc = PrivacyAccountant::new();
+        for _ in 0..4 {
+            acc.spend(g(0.5), "report").unwrap();
+        }
+        assert_eq!(acc.count(), 4);
+        assert!((acc.total().epsilon() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.remaining_epsilon(), None);
+    }
+
+    #[test]
+    fn budget_is_enforced_and_rejected_spends_are_not_recorded() {
+        let mut acc = PrivacyAccountant::with_budget(g(1.0));
+        acc.spend(g(0.6), "a").unwrap();
+        let err = acc.spend(g(0.6), "b");
+        assert!(matches!(err, Err(PrivacyError::BudgetExceeded { .. })));
+        assert_eq!(acc.count(), 1);
+        assert!((acc.total().epsilon() - 0.6).abs() < 1e-12);
+        assert!((acc.remaining_epsilon().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_budget_is_also_enforced() {
+        let budget = PrivacyGuarantee::new(10.0, 1e-6).unwrap();
+        let mut acc = PrivacyAccountant::with_budget(budget);
+        let leaky = PrivacyGuarantee::new(0.1, 1e-6).unwrap();
+        acc.spend(leaky, "a").unwrap();
+        assert!(acc.spend(leaky, "b").is_err());
+    }
+
+    #[test]
+    fn iteration_preserves_labels_in_order() {
+        let mut acc = PrivacyAccountant::new();
+        acc.spend(g(0.1), "first").unwrap();
+        acc.spend(g(0.2), "second").unwrap();
+        let labels: Vec<&str> = acc.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn default_is_unbounded_and_empty() {
+        let acc = PrivacyAccountant::default();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.total().epsilon(), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Crowd-blending privacy (Gehrke et al. 2012).
+
+use crate::PrivacyError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// An `(l, ε̄)`-crowd-blending privacy parameterization.
+///
+/// Definition 2 of the paper: an encoding mechanism is `(l, ε̄)`-crowd-blending
+/// private if every released encoded value either blends with at least `l − 1`
+/// other released values (indistinguishably when ε̄ = 0) or is suppressed.
+///
+/// P2B's deterministic encoder releases *identical* codes for every member of
+/// a crowd, so ε̄ = 0; the shuffler's frequency threshold enforces the crowd
+/// size `l`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowdBlending {
+    crowd_size: u64,
+    epsilon_bar: f64,
+}
+
+impl CrowdBlending {
+    /// Creates an `(l, ε̄)`-crowd-blending parameterization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] when `l == 0` or ε̄ is
+    /// negative or non-finite.
+    pub fn new(crowd_size: u64, epsilon_bar: f64) -> Result<Self, PrivacyError> {
+        if crowd_size == 0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "crowd_size",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if !epsilon_bar.is_finite() || epsilon_bar < 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon_bar",
+                message: format!("must be a finite non-negative number, got {epsilon_bar}"),
+            });
+        }
+        Ok(Self {
+            crowd_size,
+            epsilon_bar,
+        })
+    }
+
+    /// The P2B encoder's parameterization: exact blending (ε̄ = 0) with the
+    /// given crowd size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] when `crowd_size == 0`.
+    pub fn exact(crowd_size: u64) -> Result<Self, PrivacyError> {
+        Self::new(crowd_size, 0.0)
+    }
+
+    /// The crowd size `l`.
+    #[must_use]
+    pub fn crowd_size(&self) -> u64 {
+        self.crowd_size
+    }
+
+    /// The in-crowd distinguishability ε̄.
+    #[must_use]
+    pub fn epsilon_bar(&self) -> f64 {
+        self.epsilon_bar
+    }
+
+    /// The crowd-blending parameter achieved by the *optimal* encoder of
+    /// Section 4: `U` participating users spread uniformly over `k` codes
+    /// give `l = U / k` (integer division; zero when `U < k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] when `num_codes == 0` or
+    /// the resulting crowd is empty.
+    pub fn from_optimal_encoder(num_users: u64, num_codes: u64) -> Result<Self, PrivacyError> {
+        if num_codes == 0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "num_codes",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        Self::exact(num_users / num_codes)
+    }
+
+    /// Verifies that a batch of released codes actually satisfies the crowd
+    /// size: every distinct released value must occur at least `l` times.
+    ///
+    /// This is the empirical check used in tests and in the shuffler's
+    /// post-conditions; it returns the number of distinct codes that violate
+    /// the requirement (0 means the batch is compliant).
+    #[must_use]
+    pub fn count_violations<T: Eq + Hash>(&self, released: &[T]) -> usize {
+        let mut counts: HashMap<&T, u64> = HashMap::new();
+        for value in released {
+            *counts.entry(value).or_insert(0) += 1;
+        }
+        counts
+            .values()
+            .filter(|&&count| count < self.crowd_size)
+            .count()
+    }
+
+    /// Returns `true` if the released batch satisfies `(l, ·)`-crowd-blending
+    /// empirically (every released value occurs at least `l` times).
+    #[must_use]
+    pub fn is_satisfied_by<T: Eq + Hash>(&self, released: &[T]) -> bool {
+        self.count_violations(released) == 0
+    }
+}
+
+impl fmt::Display for CrowdBlending {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {:.3})-crowd-blending",
+            self.crowd_size, self.epsilon_bar
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(CrowdBlending::new(0, 0.0).is_err());
+        assert!(CrowdBlending::new(5, -0.1).is_err());
+        assert!(CrowdBlending::new(5, f64::NAN).is_err());
+        assert!(CrowdBlending::exact(5).is_ok());
+    }
+
+    #[test]
+    fn optimal_encoder_crowd_size_is_users_over_codes() {
+        let cb = CrowdBlending::from_optimal_encoder(1000, 32).unwrap();
+        assert_eq!(cb.crowd_size(), 31);
+        assert_eq!(cb.epsilon_bar(), 0.0);
+        // Fewer users than codes: the crowd is empty, which must be an error.
+        assert!(CrowdBlending::from_optimal_encoder(10, 32).is_err());
+        assert!(CrowdBlending::from_optimal_encoder(10, 0).is_err());
+    }
+
+    #[test]
+    fn empirical_check_counts_small_crowds() {
+        let cb = CrowdBlending::exact(3).unwrap();
+        let released = vec![1, 1, 1, 2, 2, 3, 3, 3, 3];
+        // Code 2 appears only twice => one violation.
+        assert_eq!(cb.count_violations(&released), 1);
+        assert!(!cb.is_satisfied_by(&released));
+
+        let compliant = vec![1, 1, 1, 3, 3, 3, 3];
+        assert!(cb.is_satisfied_by(&compliant));
+    }
+
+    #[test]
+    fn empty_release_is_trivially_compliant() {
+        let cb = CrowdBlending::exact(10).unwrap();
+        assert!(cb.is_satisfied_by::<u32>(&[]));
+    }
+
+    #[test]
+    fn display_mentions_both_parameters() {
+        let cb = CrowdBlending::new(7, 0.5).unwrap();
+        let s = cb.to_string();
+        assert!(s.contains('7'));
+        assert!(s.contains("0.500"));
+    }
+}

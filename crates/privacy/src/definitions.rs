@@ -1,0 +1,191 @@
+//! Core differential-privacy value types.
+
+use crate::PrivacyError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The participation (pre-sampling) probability `p` of a local agent.
+///
+/// Constrained to the open interval `(0, 1)`: with `p = 0` no data is ever
+/// shared (the "cold" regime) and with `p = 1` the amplification argument of
+/// Gehrke et al. breaks down (ε diverges), so both endpoints are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Participation(f64);
+
+impl Participation {
+    /// Creates a participation probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidProbability`] unless `0 < p < 1`.
+    pub fn new(p: f64) -> Result<Self, PrivacyError> {
+        if !p.is_finite() || p <= 0.0 || p >= 1.0 {
+            return Err(PrivacyError::InvalidProbability { name: "p", value: p });
+        }
+        Ok(Self(p))
+    }
+
+    /// The probability value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Participation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p={}", self.0)
+    }
+}
+
+/// An (ε, δ) differential-privacy guarantee.
+///
+/// Definition 1 of the paper: a mechanism `M` is (ε, δ)-differentially
+/// private if for all neighbouring datasets `X`, `X'` and all measurable `R`,
+/// `Pr[M(X) ∈ R] ≤ e^ε · Pr[M(X') ∈ R] + δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyGuarantee {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyGuarantee {
+    /// Creates a guarantee from ε ≥ 0 and δ ∈ [0, 1].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] for out-of-range values.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, PrivacyError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                message: format!("must be a finite non-negative number, got {epsilon}"),
+            });
+        }
+        if !delta.is_finite() || !(0.0..=1.0).contains(&delta) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                message: format!("must lie in [0, 1], got {delta}"),
+            });
+        }
+        Ok(Self { epsilon, delta })
+    }
+
+    /// Creates a pure ε-DP guarantee (δ = 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] for negative or non-finite ε.
+    pub fn pure(epsilon: f64) -> Result<Self, PrivacyError> {
+        Self::new(epsilon, 0.0)
+    }
+
+    /// The ε parameter.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The δ parameter.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Sequential composition with another guarantee: the ε and δ values add
+    /// (Dwork & Roth 2013, Theorem 3.16). Saturates δ at 1.
+    #[must_use]
+    pub fn compose(&self, other: &PrivacyGuarantee) -> PrivacyGuarantee {
+        PrivacyGuarantee {
+            epsilon: self.epsilon + other.epsilon,
+            delta: (self.delta + other.delta).min(1.0),
+        }
+    }
+
+    /// Sequential composition of `k` copies of this guarantee, the bound the
+    /// paper quotes for agents that report `r` tuples ((rε)-DP).
+    #[must_use]
+    pub fn compose_n(&self, k: u32) -> PrivacyGuarantee {
+        PrivacyGuarantee {
+            epsilon: self.epsilon * f64::from(k),
+            delta: (self.delta * f64::from(k)).min(1.0),
+        }
+    }
+
+    /// Returns `true` if this guarantee is at least as strong as `other`
+    /// (smaller or equal ε and δ).
+    #[must_use]
+    pub fn is_at_least_as_strong_as(&self, other: &PrivacyGuarantee) -> bool {
+        self.epsilon <= other.epsilon && self.delta <= other.delta
+    }
+}
+
+impl fmt::Display for PrivacyGuarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(ε={:.4}, δ={:.2e})-DP", self.epsilon, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn participation_rejects_boundary_and_invalid_values() {
+        assert!(Participation::new(0.0).is_err());
+        assert!(Participation::new(1.0).is_err());
+        assert!(Participation::new(-0.3).is_err());
+        assert!(Participation::new(f64::NAN).is_err());
+        assert!(Participation::new(0.5).is_ok());
+        assert_eq!(Participation::new(0.25).unwrap().value(), 0.25);
+    }
+
+    #[test]
+    fn guarantee_validates_ranges() {
+        assert!(PrivacyGuarantee::new(-1.0, 0.0).is_err());
+        assert!(PrivacyGuarantee::new(1.0, -0.1).is_err());
+        assert!(PrivacyGuarantee::new(1.0, 1.5).is_err());
+        assert!(PrivacyGuarantee::new(f64::INFINITY, 0.0).is_err());
+        assert!(PrivacyGuarantee::pure(0.693).is_ok());
+    }
+
+    #[test]
+    fn composition_adds_parameters() {
+        let a = PrivacyGuarantee::new(0.5, 1e-6).unwrap();
+        let b = PrivacyGuarantee::new(0.25, 1e-6).unwrap();
+        let c = a.compose(&b);
+        assert!((c.epsilon() - 0.75).abs() < 1e-12);
+        assert!((c.delta() - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_composition_matches_the_r_epsilon_bound() {
+        let per_report = PrivacyGuarantee::pure(0.693).unwrap();
+        let five = per_report.compose_n(5);
+        assert!((five.epsilon() - 5.0 * 0.693).abs() < 1e-12);
+        assert_eq!(five.delta(), 0.0);
+    }
+
+    #[test]
+    fn delta_composition_saturates_at_one() {
+        let weak = PrivacyGuarantee::new(0.1, 0.9).unwrap();
+        assert_eq!(weak.compose(&weak).delta(), 1.0);
+        assert_eq!(weak.compose_n(10).delta(), 1.0);
+    }
+
+    #[test]
+    fn strength_ordering() {
+        let strong = PrivacyGuarantee::new(0.5, 1e-9).unwrap();
+        let weak = PrivacyGuarantee::new(1.0, 1e-6).unwrap();
+        assert!(strong.is_at_least_as_strong_as(&weak));
+        assert!(!weak.is_at_least_as_strong_as(&strong));
+    }
+
+    #[test]
+    fn display_formats_both_parameters() {
+        let g = PrivacyGuarantee::new(0.693, 1e-6).unwrap();
+        let s = g.to_string();
+        assert!(s.contains("0.693"));
+        assert!(s.contains("e-6"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the privacy-analysis crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by privacy-parameter constructors and computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PrivacyError {
+    /// A probability was outside its valid range.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected.
+        value: f64,
+    },
+    /// A privacy parameter (ε, δ, l, Ω, …) was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// A privacy budget would be exceeded by the requested operation.
+    BudgetExceeded {
+        /// Budget available before the operation.
+        budget: f64,
+        /// Privacy cost that was requested.
+        requested: f64,
+    },
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::InvalidProbability { name, value } => {
+                write!(f, "invalid probability {value} for parameter `{name}`")
+            }
+            PrivacyError::InvalidParameter { name, message } => {
+                write!(f, "invalid privacy parameter `{name}`: {message}")
+            }
+            PrivacyError::BudgetExceeded { budget, requested } => write!(
+                f,
+                "privacy budget exceeded: {requested} requested with only {budget} remaining"
+            ),
+        }
+    }
+}
+
+impl Error for PrivacyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PrivacyError::InvalidProbability {
+            name: "p",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("1.5"));
+        let e = PrivacyError::BudgetExceeded {
+            budget: 1.0,
+            requested: 2.0,
+        };
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<PrivacyError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Differential-privacy analysis for Privacy-Preserving Bandits.
+//!
+//! P2B's privacy argument (Section 4 of the paper) combines two ingredients:
+//!
+//! 1. **Crowd-blending privacy** (Gehrke et al. 2012): the encoder maps every
+//!    released context to a code shared by at least `l − 1` other released
+//!    contexts, with ε̄ = 0 because all members of a crowd release *exactly*
+//!    the same value ([`CrowdBlending`]).
+//! 2. **Pre-sampling**: each agent participates with probability `p`
+//!    ([`Participation`]). Pre-sampling followed by a crowd-blending
+//!    mechanism yields zero-knowledge and hence (ε, δ)-differential privacy
+//!    with
+//!    `ε = ln(p·(2−p)/(1−p)·e^ε̄ + (1−p))` and `δ = e^(−Ω·l·(1−p)²)`
+//!    ([`amplified_epsilon`], [`amplified_delta`]).
+//!
+//! The crate also provides a [`PrivacyAccountant`] implementing sequential
+//! composition (an agent reporting `r` tuples spends `r·ε`), and a
+//! [`RandomizedResponse`] local-DP baseline so P2B's trust model can be
+//! compared against RAPPOR-style randomization.
+//!
+//! # Example
+//!
+//! ```
+//! use p2b_privacy::{amplified_epsilon, Participation};
+//!
+//! # fn main() -> Result<(), p2b_privacy::PrivacyError> {
+//! let p = Participation::new(0.5)?;
+//! let eps = amplified_epsilon(p, 0.0)?;
+//! assert!((eps - std::f64::consts::LN_2).abs() < 1e-12); // ≈ 0.693
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accountant;
+mod amplification;
+mod crowd_blending;
+mod definitions;
+mod error;
+mod randomized_response;
+
+pub use accountant::{PrivacyAccountant, PrivacySpend};
+pub use amplification::{
+    amplified_delta, amplified_epsilon, epsilon_sweep, participation_for_epsilon, EpsilonPoint,
+};
+pub use crowd_blending::CrowdBlending;
+pub use definitions::{Participation, PrivacyGuarantee};
+pub use error::PrivacyError;
+pub use randomized_response::RandomizedResponse;

@@ -1,0 +1,223 @@
+//! k-ary randomized response: a local-DP baseline in the spirit of RAPPOR.
+
+use crate::{PrivacyError, PrivacyGuarantee};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// k-ary randomized response over a categorical domain of size `k`.
+///
+/// The paper contrasts P2B's trust model (a trusted shuffler plus
+/// pre-sampling) with purely local approaches such as RAPPOR, where every
+/// report is randomized on the device. This struct implements the textbook
+/// k-ary randomized-response mechanism: the true category is reported with
+/// probability `e^ε / (e^ε + k − 1)` and a uniformly random *other* category
+/// otherwise. It satisfies ε-local differential privacy and provides an
+/// unbiased frequency estimator, which is all RAPPOR-style collection can
+/// offer — and exactly why the paper argues its per-report utility is too low
+/// for model training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedResponse {
+    num_categories: usize,
+    epsilon: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a mechanism over `num_categories` categories with budget ε.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] when `num_categories < 2`
+    /// or ε is not strictly positive and finite.
+    pub fn new(num_categories: usize, epsilon: f64) -> Result<Self, PrivacyError> {
+        if num_categories < 2 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "num_categories",
+                message: "must be at least 2".to_owned(),
+            });
+        }
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                message: format!("must be a finite positive number, got {epsilon}"),
+            });
+        }
+        Ok(Self {
+            num_categories,
+            epsilon,
+        })
+    }
+
+    /// The number of categories `k`.
+    #[must_use]
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// The local-DP guarantee of a single report.
+    #[must_use]
+    pub fn guarantee(&self) -> PrivacyGuarantee {
+        PrivacyGuarantee::pure(self.epsilon).expect("validated at construction")
+    }
+
+    /// Probability of reporting the true category.
+    #[must_use]
+    pub fn truth_probability(&self) -> f64 {
+        let e = self.epsilon.exp();
+        e / (e + self.num_categories as f64 - 1.0)
+    }
+
+    /// Randomizes one categorical value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] when `value` is out of range.
+    pub fn randomize<R: Rng + ?Sized>(
+        &self,
+        value: usize,
+        rng: &mut R,
+    ) -> Result<usize, PrivacyError> {
+        if value >= self.num_categories {
+            return Err(PrivacyError::InvalidParameter {
+                name: "value",
+                message: format!(
+                    "must be below {}, got {value}",
+                    self.num_categories
+                ),
+            });
+        }
+        if rng.gen::<f64>() < self.truth_probability() {
+            return Ok(value);
+        }
+        // Uniform over the *other* categories.
+        let mut other = rng.gen_range(0..self.num_categories - 1);
+        if other >= value {
+            other += 1;
+        }
+        Ok(other)
+    }
+
+    /// Unbiased estimate of the true category frequencies from randomized
+    /// reports.
+    ///
+    /// With truth probability `t` and lie probability `(1 − t)/(k − 1)`, the
+    /// expected observed frequency of category `c` is
+    /// `t·f_c + (1 − f_c)·(1 − t)/(k − 1)`; inverting gives the estimator
+    /// below. Estimates may fall outside `[0, 1]` for small samples, exactly
+    /// like RAPPOR's.
+    #[must_use]
+    pub fn estimate_frequencies(&self, reports: &[usize]) -> Vec<f64> {
+        let k = self.num_categories as f64;
+        let t = self.truth_probability();
+        let lie = (1.0 - t) / (k - 1.0);
+        let n = reports.len() as f64;
+        let mut counts = vec![0.0f64; self.num_categories];
+        for &r in reports {
+            if r < self.num_categories {
+                counts[r] += 1.0;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| {
+                if n == 0.0 {
+                    0.0
+                } else {
+                    (c / n - lie) / (t - lie)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(RandomizedResponse::new(1, 1.0).is_err());
+        assert!(RandomizedResponse::new(4, 0.0).is_err());
+        assert!(RandomizedResponse::new(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn truth_probability_increases_with_epsilon() {
+        let weak = RandomizedResponse::new(10, 0.1).unwrap();
+        let strong = RandomizedResponse::new(10, 5.0).unwrap();
+        assert!(strong.truth_probability() > weak.truth_probability());
+        assert!(weak.truth_probability() > 1.0 / 10.0);
+        assert!(strong.truth_probability() < 1.0);
+    }
+
+    #[test]
+    fn randomize_stays_in_range_and_validates_input() {
+        let rr = RandomizedResponse::new(5, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in 0..5 {
+            for _ in 0..20 {
+                let out = rr.randomize(v, &mut rng).unwrap();
+                assert!(out < 5);
+            }
+        }
+        assert!(rr.randomize(5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empirical_truth_rate_matches_theory() {
+        let rr = RandomizedResponse::new(4, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let mut kept = 0;
+        for _ in 0..trials {
+            if rr.randomize(2, &mut rng).unwrap() == 2 {
+                kept += 1;
+            }
+        }
+        let observed = kept as f64 / trials as f64;
+        assert!(
+            (observed - rr.truth_probability()).abs() < 0.02,
+            "observed {observed}, expected {}",
+            rr.truth_probability()
+        );
+    }
+
+    #[test]
+    fn frequency_estimation_is_approximately_unbiased() {
+        let rr = RandomizedResponse::new(3, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // True distribution: 60% / 30% / 10%.
+        let truth = [0.6, 0.3, 0.1];
+        let n = 30_000;
+        let mut reports = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let value = if u < 0.6 {
+                0
+            } else if u < 0.9 {
+                1
+            } else {
+                2
+            };
+            reports.push(rr.randomize(value, &mut rng).unwrap());
+        }
+        let estimates = rr.estimate_frequencies(&reports);
+        for (est, tru) in estimates.iter().zip(truth.iter()) {
+            assert!((est - tru).abs() < 0.05, "estimates {estimates:?}");
+        }
+    }
+
+    #[test]
+    fn empty_reports_give_zero_estimates() {
+        let rr = RandomizedResponse::new(3, 1.0).unwrap();
+        assert_eq!(rr.estimate_frequencies(&[]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn guarantee_reports_configured_epsilon() {
+        let rr = RandomizedResponse::new(3, 0.7).unwrap();
+        assert!((rr.guarantee().epsilon() - 0.7).abs() < 1e-12);
+        assert_eq!(rr.guarantee().delta(), 0.0);
+    }
+}

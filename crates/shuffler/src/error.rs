@@ -1,0 +1,61 @@
+//! Error type for the shuffler crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by shuffler construction and pipeline operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ShufflerError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// A report carried an invalid reward (outside `[0, 1]` or non-finite).
+    InvalidReport {
+        /// Description of what was wrong with the report.
+        message: String,
+    },
+    /// The streaming pipeline was already shut down.
+    PipelineClosed,
+}
+
+impl fmt::Display for ShufflerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShufflerError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for `{parameter}`: {message}")
+            }
+            ShufflerError::InvalidReport { message } => {
+                write!(f, "invalid report: {message}")
+            }
+            ShufflerError::PipelineClosed => write!(f, "shuffler pipeline is closed"),
+        }
+    }
+}
+
+impl Error for ShufflerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ShufflerError::InvalidConfig {
+            parameter: "threshold",
+            message: "must be at least 1".to_owned(),
+        };
+        assert!(e.to_string().contains("threshold"));
+        assert!(ShufflerError::PipelineClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ShufflerError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! ESA-style trusted shuffler for Privacy-Preserving Bandits.
+//!
+//! The shuffler sits between the local agents and the central server
+//! (Section 3.3 of the paper, following the PROCHLO/ESA architecture). In the
+//! real deployment it runs inside a trusted enclave; here it is an in-process
+//! component that performs the same three tasks:
+//!
+//! 1. **Anonymization** — all metadata attached to incoming reports (agent
+//!    identifiers, network addresses, timestamps) is stripped
+//!    ([`RawReport`] → [`EncodedReport`]).
+//! 2. **Shuffling** — reports are gathered into batches and their order is
+//!    randomized (Fisher–Yates), severing any ordering side channel.
+//! 3. **Thresholding** — reports whose encoded context code appears fewer
+//!    than `threshold` times in the batch are removed, enforcing the
+//!    crowd-blending parameter `l`.
+//!
+//! A multi-threaded [`ShufflerPipeline`] built on crossbeam channels is
+//! provided for streaming operation; the synchronous [`Shuffler`] is what the
+//! simulation harness uses.
+//!
+//! # Example
+//!
+//! ```
+//! use p2b_shuffler::{EncodedReport, RawReport, Shuffler, ShufflerConfig};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), p2b_shuffler::ShufflerError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let shuffler = Shuffler::new(ShufflerConfig::new(2))?;
+//! let reports: Vec<RawReport> = (0..6)
+//!     .map(|i| RawReport::new(format!("agent-{i}"), EncodedReport::new(i % 2, 0, 1.0).unwrap()))
+//!     .collect();
+//! let batch = shuffler.process(reports, &mut rng);
+//! assert_eq!(batch.reports().len(), 6); // both codes appear ≥ 2 times
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod pipeline;
+mod report;
+mod shuffle;
+
+pub use error::ShufflerError;
+pub use pipeline::{PipelineHandle, ShufflerPipeline};
+pub use report::{EncodedReport, RawReport, ReportMetadata};
+pub use shuffle::{ShuffledBatch, Shuffler, ShufflerConfig, ShufflerStats};

@@ -1,0 +1,252 @@
+//! Multi-threaded streaming shuffler pipeline.
+
+use crate::{RawReport, ShuffledBatch, Shuffler, ShufflerConfig, ShufflerError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::thread::JoinHandle;
+
+/// A streaming shuffler: reports submitted from any thread are gathered into
+/// fixed-size batches by a background worker, which anonymizes, shuffles and
+/// thresholds each batch before handing it downstream.
+///
+/// This mirrors the deployment shape of the ESA architecture, where the
+/// shuffler runs asynchronously from both the clients and the analyzer. The
+/// synchronous [`Shuffler`] remains the right tool inside single-threaded
+/// simulations; the pipeline exists so the end-to-end system test and the
+/// throughput benchmark exercise a realistic concurrent path.
+///
+/// # Example
+///
+/// ```
+/// use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerPipeline};
+///
+/// # fn main() -> Result<(), p2b_shuffler::ShufflerError> {
+/// let pipeline = ShufflerPipeline::new(ShufflerConfig::new(1), 4)?;
+/// let handle = pipeline.spawn(42);
+/// for i in 0..8 {
+///     handle.submit(RawReport::new("agent", EncodedReport::new(i % 2, 0, 1.0)?))?;
+/// }
+/// let batches = handle.finish();
+/// assert_eq!(batches.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShufflerPipeline {
+    config: ShufflerConfig,
+    batch_size: usize,
+}
+
+impl ShufflerPipeline {
+    /// Creates a pipeline description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShufflerError::InvalidConfig`] when the shuffler config is
+    /// invalid or `batch_size` is zero.
+    pub fn new(config: ShufflerConfig, batch_size: usize) -> Result<Self, ShufflerError> {
+        // Validate the shuffler configuration eagerly so `spawn` cannot fail.
+        let _ = Shuffler::new(config)?;
+        if batch_size == 0 {
+            return Err(ShufflerError::InvalidConfig {
+                parameter: "batch_size",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        Ok(Self { config, batch_size })
+    }
+
+    /// Starts the background worker and returns a handle for submitting
+    /// reports and collecting shuffled batches.
+    #[must_use]
+    pub fn spawn(&self, seed: u64) -> PipelineHandle {
+        let (report_tx, report_rx) = unbounded::<RawReport>();
+        let (batch_tx, batch_rx) = unbounded::<ShuffledBatch>();
+        let shuffler = Shuffler::new(self.config).expect("config validated in new");
+        let batch_size = self.batch_size;
+
+        let worker = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pending: Vec<RawReport> = Vec::with_capacity(batch_size);
+            for report in report_rx.iter() {
+                pending.push(report);
+                if pending.len() >= batch_size {
+                    let batch = shuffler.process(std::mem::take(&mut pending), &mut rng);
+                    if batch_tx.send(batch).is_err() {
+                        return;
+                    }
+                }
+            }
+            // Input channel closed: flush whatever is left as a final batch.
+            if !pending.is_empty() {
+                let batch = shuffler.process(pending, &mut rng);
+                let _ = batch_tx.send(batch);
+            }
+        });
+
+        PipelineHandle {
+            report_tx: Some(report_tx),
+            batch_rx,
+            worker: Some(worker),
+        }
+    }
+}
+
+/// Handle to a running [`ShufflerPipeline`] worker.
+#[derive(Debug)]
+pub struct PipelineHandle {
+    report_tx: Option<Sender<RawReport>>,
+    batch_rx: Receiver<ShuffledBatch>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl PipelineHandle {
+    /// Submits one raw report to the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShufflerError::PipelineClosed`] after [`Self::finish`] has
+    /// been called or if the worker terminated.
+    pub fn submit(&self, report: RawReport) -> Result<(), ShufflerError> {
+        match &self.report_tx {
+            Some(tx) => tx.send(report).map_err(|_| ShufflerError::PipelineClosed),
+            None => Err(ShufflerError::PipelineClosed),
+        }
+    }
+
+    /// Non-blocking drain of the batches produced so far.
+    #[must_use]
+    pub fn drain_ready(&self) -> Vec<ShuffledBatch> {
+        self.batch_rx.try_iter().collect()
+    }
+
+    /// Closes the input, waits for the worker to flush, and returns every
+    /// batch the pipeline produced (including previously undrained ones).
+    #[must_use]
+    pub fn finish(mut self) -> Vec<ShuffledBatch> {
+        self.close();
+        self.batch_rx.iter().collect()
+    }
+
+    fn close(&mut self) {
+        // Dropping the sender closes the input channel, letting the worker
+        // flush its final partial batch and exit.
+        self.report_tx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PipelineHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EncodedReport;
+
+    fn raw(code: usize) -> RawReport {
+        RawReport::new("agent", EncodedReport::new(code, 0, 1.0).unwrap())
+    }
+
+    #[test]
+    fn validates_configuration() {
+        assert!(ShufflerPipeline::new(ShufflerConfig::new(0), 4).is_err());
+        assert!(ShufflerPipeline::new(ShufflerConfig::new(1), 0).is_err());
+        assert!(ShufflerPipeline::new(ShufflerConfig::new(1), 4).is_ok());
+    }
+
+    #[test]
+    fn batches_are_emitted_at_the_configured_size() {
+        let pipeline = ShufflerPipeline::new(ShufflerConfig::new(1), 5).unwrap();
+        let handle = pipeline.spawn(7);
+        for i in 0..12 {
+            handle.submit(raw(i % 3)).unwrap();
+        }
+        let batches = handle.finish();
+        // 12 reports with batch size 5: two full batches plus a final flush of 2.
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].stats().received, 5);
+        assert_eq!(batches[1].stats().received, 5);
+        assert_eq!(batches[2].stats().received, 2);
+        let total_released: usize = batches.iter().map(|b| b.reports().len()).sum();
+        assert_eq!(total_released, 12);
+    }
+
+    #[test]
+    fn thresholding_applies_per_batch() {
+        let pipeline = ShufflerPipeline::new(ShufflerConfig::new(3), 6).unwrap();
+        let handle = pipeline.spawn(8);
+        // Batch of 6: code 0 x4 (released), code 1 x2 (dropped).
+        for _ in 0..4 {
+            handle.submit(raw(0)).unwrap();
+        }
+        for _ in 0..2 {
+            handle.submit(raw(1)).unwrap();
+        }
+        let batches = handle.finish();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].reports().len(), 4);
+        assert!(batches[0].reports().iter().all(|r| r.code() == 0));
+    }
+
+    #[test]
+    fn submitting_after_finish_is_rejected() {
+        let pipeline = ShufflerPipeline::new(ShufflerConfig::new(1), 2).unwrap();
+        let handle = pipeline.spawn(9);
+        handle.submit(raw(0)).unwrap();
+        let _ = handle.finish();
+        // `finish` consumes the handle; a freshly spawned handle stays usable
+        // until it, too, is finished.
+        let handle2 = pipeline.spawn(10);
+        handle2.submit(raw(1)).unwrap();
+        let batches = handle2.finish();
+        assert_eq!(batches.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_submissions_from_multiple_threads() {
+        let pipeline = ShufflerPipeline::new(ShufflerConfig::new(1), 50).unwrap();
+        let handle = pipeline.spawn(11);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let handle_ref = &handle;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        handle_ref.submit(raw((t * 100 + i) % 7)).unwrap();
+                    }
+                });
+            }
+        });
+        let batches = handle.finish();
+        let total: usize = batches.iter().map(|b| b.stats().received).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn drain_ready_returns_completed_batches_without_closing() {
+        let pipeline = ShufflerPipeline::new(ShufflerConfig::new(1), 2).unwrap();
+        let handle = pipeline.spawn(12);
+        handle.submit(raw(0)).unwrap();
+        handle.submit(raw(1)).unwrap();
+        // Give the worker a moment to process the full batch.
+        let mut drained = Vec::new();
+        for _ in 0..100 {
+            drained = handle.drain_ready();
+            if !drained.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(drained.len(), 1);
+        // The pipeline is still usable afterwards.
+        handle.submit(raw(2)).unwrap();
+        let rest = handle.finish();
+        assert_eq!(rest.len(), 1);
+    }
+}

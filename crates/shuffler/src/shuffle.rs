@@ -1,0 +1,260 @@
+//! The synchronous shuffler: anonymize, shuffle, threshold.
+
+use crate::{EncodedReport, RawReport, ShufflerError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a [`Shuffler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShufflerConfig {
+    /// Minimum number of occurrences of an encoded context code within a
+    /// batch for its reports to be released (the crowd-blending `l`).
+    pub threshold: usize,
+}
+
+impl ShufflerConfig {
+    /// Creates a configuration with the given frequency threshold.
+    #[must_use]
+    pub fn new(threshold: usize) -> Self {
+        Self { threshold }
+    }
+
+    fn validate(&self) -> Result<(), ShufflerError> {
+        if self.threshold == 0 {
+            return Err(ShufflerError::InvalidConfig {
+                parameter: "threshold",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Statistics of one shuffling round, useful for experiments and auditing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ShufflerStats {
+    /// Reports received in the batch.
+    pub received: usize,
+    /// Reports released after thresholding.
+    pub released: usize,
+    /// Reports dropped because their code was below the threshold.
+    pub dropped: usize,
+    /// Number of distinct codes observed in the batch.
+    pub distinct_codes: usize,
+    /// Number of distinct codes that survived thresholding.
+    pub released_codes: usize,
+}
+
+/// The output of one shuffling round: anonymous, order-randomized,
+/// threshold-filtered reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuffledBatch {
+    reports: Vec<EncodedReport>,
+    stats: ShufflerStats,
+}
+
+impl ShuffledBatch {
+    /// The released reports, in shuffled order.
+    #[must_use]
+    pub fn reports(&self) -> &[EncodedReport] {
+        &self.reports
+    }
+
+    /// Consumes the batch and returns the released reports.
+    #[must_use]
+    pub fn into_reports(self) -> Vec<EncodedReport> {
+        self.reports
+    }
+
+    /// Statistics of the round that produced this batch.
+    #[must_use]
+    pub fn stats(&self) -> ShufflerStats {
+        self.stats
+    }
+
+    /// Smallest per-code frequency among the released reports; this is the
+    /// empirical crowd-blending `l` actually achieved by the batch.
+    #[must_use]
+    pub fn min_released_code_frequency(&self) -> usize {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for report in &self.reports {
+            *counts.entry(report.code()).or_insert(0) += 1;
+        }
+        counts.values().copied().min().unwrap_or(0)
+    }
+}
+
+/// The trusted shuffler of the ESA architecture.
+///
+/// See the [crate-level documentation](crate) for the three-step contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shuffler {
+    config: ShufflerConfig,
+}
+
+impl Shuffler {
+    /// Creates a shuffler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShufflerError::InvalidConfig`] when the threshold is zero.
+    pub fn new(config: ShufflerConfig) -> Result<Self, ShufflerError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configured frequency threshold.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.config.threshold
+    }
+
+    /// Processes one batch of raw reports: strips metadata, shuffles the
+    /// order and removes reports whose code appears fewer than
+    /// `threshold` times in the batch.
+    #[must_use]
+    pub fn process<R: Rng + ?Sized>(&self, batch: Vec<RawReport>, rng: &mut R) -> ShuffledBatch {
+        let received = batch.len();
+
+        // 1. Anonymization: drop every byte of metadata.
+        let mut anonymous: Vec<EncodedReport> =
+            batch.into_iter().map(RawReport::into_anonymous).collect();
+
+        // 2. Shuffling: uniformly random permutation.
+        anonymous.shuffle(rng);
+
+        // 3. Thresholding: count code frequencies, then retain codes that
+        //    clear the crowd-blending threshold.
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for report in &anonymous {
+            *counts.entry(report.code()).or_insert(0) += 1;
+        }
+        let distinct_codes = counts.len();
+        let released: Vec<EncodedReport> = anonymous
+            .into_iter()
+            .filter(|r| counts[&r.code()] >= self.config.threshold)
+            .collect();
+        let released_codes = counts
+            .values()
+            .filter(|&&c| c >= self.config.threshold)
+            .count();
+
+        let stats = ShufflerStats {
+            received,
+            released: released.len(),
+            dropped: received - released.len(),
+            distinct_codes,
+            released_codes,
+        };
+        ShuffledBatch {
+            reports: released,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn raw(sender: &str, code: usize, reward: f64) -> RawReport {
+        RawReport::new(sender, EncodedReport::new(code, 0, reward).unwrap())
+    }
+
+    #[test]
+    fn rejects_zero_threshold() {
+        assert!(Shuffler::new(ShufflerConfig::new(0)).is_err());
+        assert!(Shuffler::new(ShufflerConfig::new(1)).is_ok());
+    }
+
+    #[test]
+    fn thresholding_removes_rare_codes() {
+        let shuffler = Shuffler::new(ShufflerConfig::new(3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut batch = Vec::new();
+        // Code 0 appears 5 times, code 1 twice, code 2 three times.
+        for i in 0..5 {
+            batch.push(raw(&format!("a{i}"), 0, 1.0));
+        }
+        for i in 0..2 {
+            batch.push(raw(&format!("b{i}"), 1, 1.0));
+        }
+        for i in 0..3 {
+            batch.push(raw(&format!("c{i}"), 2, 1.0));
+        }
+        let out = shuffler.process(batch, &mut rng);
+        assert_eq!(out.stats().received, 10);
+        assert_eq!(out.stats().released, 8);
+        assert_eq!(out.stats().dropped, 2);
+        assert_eq!(out.stats().distinct_codes, 3);
+        assert_eq!(out.stats().released_codes, 2);
+        assert!(out.reports().iter().all(|r| r.code() != 1));
+        assert!(out.min_released_code_frequency() >= 3);
+    }
+
+    #[test]
+    fn threshold_one_releases_everything() {
+        let shuffler = Shuffler::new(ShufflerConfig::new(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch: Vec<RawReport> = (0..10).map(|i| raw(&format!("a{i}"), i, 0.5)).collect();
+        let out = shuffler.process(batch, &mut rng);
+        assert_eq!(out.reports().len(), 10);
+        assert_eq!(out.stats().dropped, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_handled() {
+        let shuffler = Shuffler::new(ShufflerConfig::new(5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = shuffler.process(Vec::new(), &mut rng);
+        assert_eq!(out.reports().len(), 0);
+        assert_eq!(out.stats(), ShufflerStats::default());
+        assert_eq!(out.min_released_code_frequency(), 0);
+    }
+
+    #[test]
+    fn shuffling_changes_order_but_preserves_multiset() {
+        let shuffler = Shuffler::new(ShufflerConfig::new(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch: Vec<RawReport> = (0..200)
+            .map(|i| raw(&format!("a{i}"), i % 4, (i % 2) as f64))
+            .collect();
+        let original_codes: Vec<usize> = batch.iter().map(|r| r.payload().code()).collect();
+        let out = shuffler.process(batch, &mut rng);
+        let shuffled_codes: Vec<usize> = out.reports().iter().map(|r| r.code()).collect();
+        assert_ne!(original_codes, shuffled_codes, "order should be randomized");
+        let mut a = original_codes.clone();
+        let mut b = shuffled_codes.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "no report may be lost or duplicated at threshold 1");
+    }
+
+    #[test]
+    fn released_batches_satisfy_the_crowd_blending_threshold() {
+        let threshold = 4;
+        let shuffler = Shuffler::new(ShufflerConfig::new(threshold)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch: Vec<RawReport> = (0..100)
+            .map(|i| raw(&format!("a{i}"), i % 13, 1.0))
+            .collect();
+        let out = shuffler.process(batch, &mut rng);
+        if !out.reports().is_empty() {
+            assert!(out.min_released_code_frequency() >= threshold);
+        }
+    }
+
+    #[test]
+    fn batch_output_contains_no_metadata_strings() {
+        let shuffler = Shuffler::new(ShufflerConfig::new(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let batch = vec![raw("very-identifying-sender", 0, 1.0)];
+        let out = shuffler.process(batch, &mut rng);
+        let debug = format!("{out:?}");
+        assert!(!debug.contains("very-identifying-sender"));
+    }
+}

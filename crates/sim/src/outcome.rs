@@ -1,0 +1,121 @@
+//! Experiment outcome types and result-file helpers.
+
+use crate::{Regime, SimError};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The aggregate outcome of running one regime over one workload setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeOutcome {
+    /// The regime that produced this outcome.
+    pub regime: Regime,
+    /// Mean observed reward (average reward / accuracy / CTR depending on the
+    /// workload).
+    pub average_reward: f64,
+    /// Standard deviation of the observed rewards.
+    pub reward_stddev: f64,
+    /// Cumulative regret against the per-round optimum, when the workload can
+    /// expose it (synthetic benchmark); 0 otherwise.
+    pub cumulative_regret: f64,
+    /// Total interactions simulated.
+    pub interactions: u64,
+    /// Number of report tuples that reached the central server.
+    pub reports_to_server: u64,
+    /// The per-report ε of the privacy guarantee: `Some(0.0)` for the cold
+    /// regime (nothing is shared), `Some(ε)` for P2B, and `None` for the
+    /// non-private regime, which offers no differential-privacy guarantee.
+    pub epsilon: Option<f64>,
+}
+
+/// One point of a figure's data series: an x value (population size, context
+/// dimension, local interactions, …) plus the outcome of every regime at that
+/// x value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Name of the swept parameter (e.g. `"num_users"`).
+    pub parameter: String,
+    /// Value of the swept parameter at this point.
+    pub value: f64,
+    /// Outcomes, one per regime.
+    pub outcomes: Vec<RegimeOutcome>,
+}
+
+impl SeriesPoint {
+    /// Creates a series point.
+    #[must_use]
+    pub fn new(parameter: impl Into<String>, value: f64, outcomes: Vec<RegimeOutcome>) -> Self {
+        Self {
+            parameter: parameter.into(),
+            value,
+            outcomes,
+        }
+    }
+
+    /// The outcome of a specific regime at this point, if present.
+    #[must_use]
+    pub fn outcome(&self, regime: Regime) -> Option<&RegimeOutcome> {
+        self.outcomes.iter().find(|o| o.regime == regime)
+    }
+}
+
+/// Writes a result series as pretty-printed JSON, creating parent directories
+/// as needed. Figure binaries use this to persist the data behind each plot.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] for filesystem failures.
+pub fn write_series_json(path: &Path, series: &[SeriesPoint]) -> Result<(), SimError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(series).map_err(|e| SimError::InvalidConfig {
+        parameter: "series",
+        message: format!("serialization failed: {e}"),
+    })?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(regime: Regime, reward: f64) -> RegimeOutcome {
+        RegimeOutcome {
+            regime,
+            average_reward: reward,
+            reward_stddev: 0.0,
+            cumulative_regret: 0.0,
+            interactions: 10,
+            reports_to_server: 5,
+            epsilon: Some(0.693),
+        }
+    }
+
+    #[test]
+    fn series_point_lookup_by_regime() {
+        let point = SeriesPoint::new(
+            "num_users",
+            100.0,
+            vec![outcome(Regime::Cold, 0.1), outcome(Regime::WarmPrivate, 0.2)],
+        );
+        assert_eq!(point.outcome(Regime::Cold).unwrap().average_reward, 0.1);
+        assert!(point.outcome(Regime::WarmNonPrivate).is_none());
+    }
+
+    #[test]
+    fn json_round_trip_via_file() {
+        let dir = std::env::temp_dir().join("p2b_sim_outcome_test");
+        let path = dir.join("nested").join("series.json");
+        let series = vec![SeriesPoint::new(
+            "d",
+            6.0,
+            vec![outcome(Regime::WarmPrivate, 0.05)],
+        )];
+        write_series_json(&path, &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<SeriesPoint> = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, series);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

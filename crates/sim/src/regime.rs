@@ -1,0 +1,84 @@
+//! The three sharing regimes compared by the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Who shares what with the central server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regime {
+    /// No communication at all: every agent learns from a cold start using
+    /// only its own feedback (full privacy).
+    Cold,
+    /// Agents share raw `(x, a, r)` tuples after every interaction and
+    /// warm-start from the central model (no privacy).
+    WarmNonPrivate,
+    /// The P2B pipeline: encoded tuples, randomized reporting, shuffler,
+    /// differential privacy per Section 4.
+    WarmPrivate,
+}
+
+impl Regime {
+    /// All three regimes in the order the paper's figures present them.
+    pub const ALL: [Regime; 3] = [Regime::Cold, Regime::WarmNonPrivate, Regime::WarmPrivate];
+
+    /// Whether this regime involves any data leaving the device.
+    #[must_use]
+    pub fn shares_data(&self) -> bool {
+        !matches!(self, Regime::Cold)
+    }
+
+    /// Whether this regime provides a differential-privacy guarantee.
+    /// (Cold is trivially private: nothing is shared.)
+    #[must_use]
+    pub fn is_private(&self) -> bool {
+        !matches!(self, Regime::WarmNonPrivate)
+    }
+
+    /// Stable identifier used in result files.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Regime::Cold => "cold",
+            Regime::WarmNonPrivate => "warm_non_private",
+            Regime::WarmPrivate => "warm_private",
+        }
+    }
+}
+
+impl fmt::Display for Regime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            Regime::Cold => "cold",
+            Regime::WarmNonPrivate => "warm & non-private",
+            Regime::WarmPrivate => "warm & private (P2B)",
+        };
+        f.write_str(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_of_regimes() {
+        assert!(!Regime::Cold.shares_data());
+        assert!(Regime::WarmNonPrivate.shares_data());
+        assert!(Regime::WarmPrivate.shares_data());
+        assert!(Regime::Cold.is_private());
+        assert!(!Regime::WarmNonPrivate.is_private());
+        assert!(Regime::WarmPrivate.is_private());
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let keys: std::collections::HashSet<_> = Regime::ALL.iter().map(Regime::key).collect();
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn display_names_mention_privacy() {
+        assert_eq!(Regime::Cold.to_string(), "cold");
+        assert!(Regime::WarmPrivate.to_string().contains("P2B"));
+    }
+}

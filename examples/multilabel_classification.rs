@@ -1,0 +1,57 @@
+//! Multi-label classification with bandit feedback (Section 5.2 / Figure 6),
+//! on a MediaMill-like synthetic dataset: 70 % of the agents train and share,
+//! the remaining 30 % are test agents whose accuracy is reported.
+//!
+//! ```bash
+//! cargo run --release --example multilabel_classification
+//! ```
+
+use p2b::datasets::MultiLabelDataset;
+use p2b::sim::{run_logged_experiment, LoggedExperimentConfig, Regime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_agents = 100;
+    let interactions_sweep = [20usize, 50, 100];
+    let max_samples = *interactions_sweep.iter().max().unwrap();
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let dataset = MultiLabelDataset::mediamill_like(num_agents * max_samples, &mut rng)?;
+    println!(
+        "MediaMill-like dataset: {} instances, d = {}, A = {} labels",
+        dataset.len(),
+        dataset.context_dimension(),
+        dataset.num_labels()
+    );
+
+    println!(
+        "\n{:>14} {:>10} {:>20} {:>20}",
+        "interactions", "cold", "warm non-private", "warm private (P2B)"
+    );
+    for &samples_per_agent in &interactions_sweep {
+        let agents = dataset.split_agents(num_agents, samples_per_agent, &mut rng)?;
+        let mut row = Vec::new();
+        for regime in Regime::ALL {
+            let config = LoggedExperimentConfig::new(
+                regime,
+                dataset.context_dimension(),
+                dataset.num_labels(),
+            )
+            .with_num_codes(32)
+            .with_shuffler_threshold(5)
+            .with_seed(61);
+            let outcome = run_logged_experiment(&agents, config)?;
+            row.push(outcome.average_reward);
+        }
+        println!(
+            "{:>14} {:>10.4} {:>20.4} {:>20.4}",
+            samples_per_agent, row[0], row[1], row[2]
+        );
+    }
+    println!(
+        "\nexpected shape (paper Figure 6): warm regimes reach high accuracy with few local \
+         interactions, cold agents catch up only slowly; the private/non-private gap is small."
+    );
+    Ok(())
+}

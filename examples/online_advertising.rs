@@ -1,0 +1,49 @@
+//! Online advertising with a Criteo-like click log (Section 5.3 / Figure 7):
+//! click-through rate of the three regimes, with the private agents using
+//! k = 2⁵ encoder codes.
+//!
+//! ```bash
+//! cargo run --release --example online_advertising
+//! ```
+
+use p2b::datasets::{CriteoConfig, CriteoLikeGenerator};
+use p2b::sim::{run_logged_experiment, LoggedExperimentConfig, Regime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_agents = 120;
+    let per_agent = 100;
+
+    let mut rng = StdRng::seed_from_u64(70);
+    let generator = CriteoLikeGenerator::new(CriteoConfig::new(), &mut rng)?;
+    let needed = num_agents * per_agent;
+    let mut impressions = generator.generate(needed * 2, &mut rng)?;
+    while impressions.len() < needed {
+        impressions.extend(generator.generate(needed, &mut rng)?);
+    }
+    let logged_ctr =
+        impressions.iter().filter(|i| i.clicked()).count() as f64 / impressions.len() as f64;
+    println!(
+        "Criteo-like log: {} retained impressions, logged CTR {:.3}, d = 10, A = 40",
+        impressions.len(),
+        logged_ctr
+    );
+
+    let agents = CriteoLikeGenerator::split_agents(&impressions, num_agents, per_agent)?;
+    println!("\n{:>22} {:>10}", "regime", "CTR");
+    for regime in Regime::ALL {
+        let config = LoggedExperimentConfig::new(regime, 10, 40)
+            .with_num_codes(32)
+            .with_shuffler_threshold(10)
+            .with_seed(71);
+        let outcome = run_logged_experiment(&agents, config)?;
+        println!("{:>22} {:>10.4}", regime.to_string(), outcome.average_reward);
+    }
+    println!(
+        "\nexpected shape (paper Figure 7): warm regimes beat the cold baseline, and for larger \
+         numbers of local interactions the private agents can match or exceed the non-private \
+         ones thanks to the smaller (clustered) context space."
+    );
+    Ok(())
+}

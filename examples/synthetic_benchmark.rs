@@ -1,0 +1,41 @@
+//! A scaled-down version of the paper's synthetic preference benchmark
+//! (Section 5.1 / Figure 4): average reward of the three regimes as the user
+//! population grows.
+//!
+//! ```bash
+//! cargo run --release --example synthetic_benchmark
+//! ```
+
+use p2b::datasets::SyntheticConfig;
+use p2b::sim::{run_synthetic_population, PopulationConfig, Regime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = SyntheticConfig::new(10, 20); // d = 10, A = 20, beta = 0.1
+    let populations = [100usize, 300, 1_000, 3_000];
+
+    println!("synthetic preference benchmark: d = 10, A = 20, T = 10 interactions per user");
+    println!(
+        "{:>10} {:>10} {:>20} {:>20}",
+        "users", "cold", "warm non-private", "warm private (P2B)"
+    );
+    for &num_users in &populations {
+        let mut row = Vec::new();
+        for regime in Regime::ALL {
+            let config = PopulationConfig::new(regime, num_users)
+                .with_num_codes(256)
+                .with_encoder_corpus_size(1024)
+                .with_seed(42);
+            let outcome = run_synthetic_population(env, config)?;
+            row.push(outcome.average_reward);
+        }
+        println!(
+            "{:>10} {:>10.4} {:>20.4} {:>20.4}",
+            num_users, row[0], row[1], row[2]
+        );
+    }
+    println!(
+        "\nexpected shape (paper Figure 4): both warm regimes improve with the population size \
+         and clearly beat the cold baseline; the private regime trails the non-private one."
+    );
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Integration tests asserting the *qualitative shapes* of the paper's
+//! results at reduced scale: who wins, in which direction the curves move.
+//! Absolute numbers differ from the paper (synthetic substrates, smaller
+//! populations), but the orderings these tests pin down are the ones the
+//! paper's figures report.
+
+use p2b::datasets::{MultiLabelDataset, SyntheticConfig};
+use p2b::sim::{
+    run_logged_experiment, run_synthetic_population, LoggedExperimentConfig, PopulationConfig,
+    Regime,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Figure 4 shape: with a growing population, the warm regimes clearly beat
+/// the cold baseline, whose per-user horizon (T = 10) is too short to learn.
+///
+/// The environment uses a stronger reward scale than the paper's β = 0.1 so
+/// that the ordering is statistically unambiguous at this reduced population
+/// size; the full-scale sweep lives in the `fig4_synthetic` bench binary.
+#[test]
+fn synthetic_benchmark_warm_regimes_beat_cold() {
+    let env = SyntheticConfig::new(6, 10)
+        .with_beta(0.8)
+        .with_noise_variance(0.0025);
+    let outcome = |regime| {
+        run_synthetic_population(
+            env,
+            PopulationConfig::new(regime, 1_000)
+                .with_num_codes(64)
+                .with_encoder_corpus_size(512)
+                .with_shuffler_threshold(2)
+                .with_seed(5),
+        )
+        .unwrap()
+        .average_reward
+    };
+    let cold = outcome(Regime::Cold);
+    let warm_np = outcome(Regime::WarmNonPrivate);
+    let warm_p = outcome(Regime::WarmPrivate);
+    assert!(
+        warm_np > cold,
+        "non-private warm ({warm_np:.4}) must beat cold ({cold:.4})"
+    );
+    assert!(
+        warm_p > cold,
+        "private warm ({warm_p:.4}) must beat cold ({cold:.4})"
+    );
+}
+
+/// Figure 4 shape along the population axis: the warm-private regime improves
+/// (or at least does not get worse) as more users contribute reports.
+#[test]
+fn private_regime_improves_with_population_size() {
+    // Strong-signal environment so the population effect dominates the
+    // sampling noise of the smaller run.
+    let env = SyntheticConfig::new(5, 8)
+        .with_beta(0.8)
+        .with_noise_variance(0.0025);
+    let run = |users| {
+        run_synthetic_population(
+            env,
+            PopulationConfig::new(Regime::WarmPrivate, users)
+                .with_num_codes(32)
+                .with_encoder_corpus_size(256)
+                .with_shuffler_threshold(2)
+                .with_seed(9),
+        )
+        .unwrap()
+        .average_reward
+    };
+    let small = run(100);
+    let large = run(1_000);
+    assert!(
+        large > small - 0.01,
+        "large population ({large:.4}) should not be worse than small ({small:.4})"
+    );
+}
+
+/// Figure 6 shape: on clustered multi-label data the warm regimes beat cold,
+/// and the private/non-private accuracy gap stays small (the paper reports
+/// 2.6 – 3.6 percentage points; we allow a loose bound at this tiny scale).
+#[test]
+fn multilabel_accuracy_ordering_and_gap() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let num_agents = 100;
+    let per_agent = 60;
+    let dataset = MultiLabelDataset::textmining_like(num_agents * per_agent, &mut rng).unwrap();
+    let agents = dataset.split_agents(num_agents, per_agent, &mut rng).unwrap();
+
+    let outcome = |regime| {
+        run_logged_experiment(
+            &agents,
+            LoggedExperimentConfig::new(regime, dataset.context_dimension(), dataset.num_labels())
+                .with_num_codes(32)
+                .with_shuffler_threshold(2)
+                .with_seed(22),
+        )
+        .unwrap()
+        .average_reward
+    };
+    let cold = outcome(Regime::Cold);
+    let warm_np = outcome(Regime::WarmNonPrivate);
+    let warm_p = outcome(Regime::WarmPrivate);
+
+    assert!(
+        warm_np > cold && warm_p > cold,
+        "warm regimes (np {warm_np:.3}, p {warm_p:.3}) must beat cold ({cold:.3})"
+    );
+    // The paper reports a 2.6 – 3.6 percentage-point gap at full scale
+    // (thousands of contributing agents); at this reduced scale the private
+    // model sees far fewer reports, so we only pin down that the gap stays
+    // bounded rather than matching the paper's value exactly.
+    assert!(
+        warm_np - warm_p < 0.35,
+        "private/non-private gap should stay bounded, got np {warm_np:.3} vs p {warm_p:.3}"
+    );
+}
+
+/// ε is controlled entirely by p: replaying the experiment with a smaller
+/// participation probability yields a strictly smaller reported ε.
+#[test]
+fn reported_epsilon_tracks_participation() {
+    let env = SyntheticConfig::new(4, 5);
+    let run = |p| {
+        let mut config = PopulationConfig::new(Regime::WarmPrivate, 40)
+            .with_num_codes(16)
+            .with_encoder_corpus_size(128)
+            .with_shuffler_threshold(2)
+            .with_seed(30);
+        config.participation = p;
+        run_synthetic_population(env, config).unwrap().epsilon.unwrap()
+    };
+    let low = run(0.25);
+    let high = run(0.75);
+    assert!(low < high, "epsilon at p=0.25 ({low}) must be below p=0.75 ({high})");
+    assert!((run(0.5) - std::f64::consts::LN_2).abs() < 1e-12);
+}
