@@ -141,7 +141,7 @@ impl ContextualPolicy for EpsilonGreedy {
     ) -> Result<Action, BanditError> {
         check_context(self.config.context_dimension, context)?;
         use rand::Rng as _;
-        if (&mut *rng).gen::<f64>() < self.config.epsilon {
+        if (*rng).gen::<f64>() < self.config.epsilon {
             return Ok(random_action(self.config.num_actions, rng));
         }
         let estimates = self.estimates(context)?;

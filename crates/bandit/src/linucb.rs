@@ -283,7 +283,7 @@ impl ContextualPolicy for LinUcb {
             best[0]
         } else {
             use rand::Rng as _;
-            best[(&mut *rng).gen_range(0..best.len())]
+            best[(*rng).gen_range(0..best.len())]
         };
         Ok(Action::new(choice))
     }
@@ -370,7 +370,9 @@ mod tests {
     fn update_validates_inputs() {
         let mut policy = LinUcb::new(LinUcbConfig::new(3, 2)).unwrap();
         let ctx = Vector::zeros(3);
-        assert!(policy.update(&Vector::zeros(2), Action::new(0), 0.5).is_err());
+        assert!(policy
+            .update(&Vector::zeros(2), Action::new(0), 0.5)
+            .is_err());
         assert!(policy.update(&ctx, Action::new(5), 0.5).is_err());
         assert!(policy.update(&ctx, Action::new(0), 1.5).is_err());
         assert!(policy.update(&ctx, Action::new(0), 0.5).is_ok());

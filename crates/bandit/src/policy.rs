@@ -137,7 +137,7 @@ pub(crate) fn check_reward(reward: Reward) -> Result<(), BanditError> {
 pub(crate) fn random_action(num_actions: usize, rng: &mut dyn rand::RngCore) -> Action {
     // `gen_range` needs a `Rng`, which `&mut dyn RngCore` provides via the
     // blanket impl for mutable references.
-    let idx = (&mut *rng).gen_range(0..num_actions);
+    let idx = (*rng).gen_range(0..num_actions);
     Action::new(idx)
 }
 

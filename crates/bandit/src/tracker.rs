@@ -90,7 +90,9 @@ impl RewardTracker {
         }
         let n = self.count as f64;
         let mean = self.total_reward / n;
-        (self.total_squared_reward / n - mean * mean).max(0.0).sqrt()
+        (self.total_squared_reward / n - mean * mean)
+            .max(0.0)
+            .sqrt()
     }
 
     /// Total regret `Σ (optimum − reward)` over rounds recorded with an optimum.

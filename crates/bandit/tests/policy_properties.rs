@@ -126,7 +126,11 @@ fn warm_started_linucb_outperforms_cold_start_on_short_horizon() {
     for t in 0..3000 {
         let ctx = &ctxs[t % d];
         let action = server.select_action(ctx, &mut rng).unwrap();
-        let reward = if action.index() == optimal(ctx) { 1.0 } else { 0.0 };
+        let reward = if action.index() == optimal(ctx) {
+            1.0
+        } else {
+            0.0
+        };
         server.update(ctx, action, reward).unwrap();
     }
 
@@ -136,7 +140,11 @@ fn warm_started_linucb_outperforms_cold_start_on_short_horizon() {
         for t in 0..30 {
             let ctx = &ctxs[t % d];
             let action = policy.select_action(ctx, &mut rng).unwrap();
-            let reward = if action.index() == optimal(ctx) { 1.0 } else { 0.0 };
+            let reward = if action.index() == optimal(ctx) {
+                1.0
+            } else {
+                0.0
+            };
             policy.update(ctx, action, reward).unwrap();
             tracker.record(reward);
         }

@@ -15,7 +15,9 @@ fn simplex_context(dimension: usize, rng: &mut StdRng) -> Vector {
 }
 
 fn build_system(dimension: usize, actions: usize, codes: usize, rng: &mut StdRng) -> P2bSystem {
-    let corpus: Vec<Vector> = (0..codes * 4).map(|_| simplex_context(dimension, rng)).collect();
+    let corpus: Vec<Vector> = (0..codes * 4)
+        .map(|_| simplex_context(dimension, rng))
+        .collect();
     let encoder =
         KMeansEncoder::fit(&corpus, KMeansConfig::new(codes).with_iterations(10), rng).unwrap();
     P2bSystem::new(
@@ -35,7 +37,9 @@ fn bench_user_session(c: &mut Criterion) {
                 let ctx = simplex_context(10, &mut rng);
                 let action = agent.select_action(&ctx, &mut rng).unwrap();
                 let reward = if action.index() % 2 == 0 { 1.0 } else { 0.0 };
-                agent.observe_reward(&ctx, action, reward, &mut rng).unwrap();
+                agent
+                    .observe_reward(&ctx, action, reward, &mut rng)
+                    .unwrap();
             }
             system.collect_from(&mut agent);
         });

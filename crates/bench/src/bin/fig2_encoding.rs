@@ -6,7 +6,9 @@
 //! reports the resulting cluster sizes and the crowd-blending parameter.
 
 use p2b_bench::save_series;
-use p2b_encoding::{enumerate_simplex_grid, simplex_cardinality, Encoder, KMeansConfig, KMeansEncoder};
+use p2b_encoding::{
+    enumerate_simplex_grid, simplex_cardinality, Encoder, KMeansConfig, KMeansEncoder,
+};
 use p2b_sim::{Regime, RegimeOutcome, SeriesPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

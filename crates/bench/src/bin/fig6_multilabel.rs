@@ -5,9 +5,7 @@
 
 use p2b_bench::{print_series, save_series, Scale};
 use p2b_datasets::{MultiLabelDataset, MultiLabelInstance};
-use p2b_sim::{
-    parallel_map, run_logged_experiment, LoggedExperimentConfig, Regime, SeriesPoint,
-};
+use p2b_sim::{parallel_map, run_logged_experiment, LoggedExperimentConfig, Regime, SeriesPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,18 +45,33 @@ fn run_dataset(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_env();
     let num_agents = scale.pick(40, 200, 600);
-    let interaction_sweep: Vec<usize> =
-        scale.pick(vec![10, 25], vec![10, 25, 50, 75, 100], vec![10, 25, 50, 75, 100]);
+    let interaction_sweep: Vec<usize> = scale.pick(
+        vec![10, 25],
+        vec![10, 25, 50, 75, 100],
+        vec![10, 25, 50, 75, 100],
+    );
     let max_per_agent = *interaction_sweep.iter().max().expect("sweep is non-empty");
 
     let mut rng = StdRng::seed_from_u64(60);
     let mediamill = MultiLabelDataset::mediamill_like(num_agents * max_per_agent, &mut rng)?;
     let textmining = MultiLabelDataset::textmining_like(num_agents * max_per_agent, &mut rng)?;
 
-    let mm_series = run_dataset("MediaMill-like (d=20, A=40)", &mediamill, num_agents, &interaction_sweep, 61)?;
+    let mm_series = run_dataset(
+        "MediaMill-like (d=20, A=40)",
+        &mediamill,
+        num_agents,
+        &interaction_sweep,
+        61,
+    )?;
     save_series("fig6_mediamill", &mm_series)?;
 
-    let tm_series = run_dataset("TextMining-like (d=20, A=22)", &textmining, num_agents, &interaction_sweep, 62)?;
+    let tm_series = run_dataset(
+        "TextMining-like (d=20, A=22)",
+        &textmining,
+        num_agents,
+        &interaction_sweep,
+        62,
+    )?;
     save_series("fig6_textmining", &tm_series)?;
     Ok(())
 }

@@ -7,17 +7,18 @@
 
 use p2b_bench::{print_series, save_series, Scale};
 use p2b_datasets::{CriteoConfig, CriteoLikeGenerator, LoggedImpression};
-use p2b_sim::{
-    parallel_map, run_logged_experiment, LoggedExperimentConfig, Regime, SeriesPoint,
-};
+use p2b_sim::{parallel_map, run_logged_experiment, LoggedExperimentConfig, Regime, SeriesPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_env();
     let num_agents = scale.pick(60, 300, 3_000);
-    let interaction_sweep: Vec<usize> =
-        scale.pick(vec![25, 50], vec![25, 50, 100, 200, 300], vec![50, 100, 200, 300]);
+    let interaction_sweep: Vec<usize> = scale.pick(
+        vec![25, 50],
+        vec![25, 50, 100, 200, 300],
+        vec![50, 100, 200, 300],
+    );
     let max_per_agent = *interaction_sweep.iter().max().expect("sweep is non-empty");
 
     // Generate enough retained impressions: the top-40 filter discards a

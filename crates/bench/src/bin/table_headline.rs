@@ -9,9 +9,7 @@
 use p2b_bench::{save_series, Scale};
 use p2b_datasets::{CriteoConfig, CriteoLikeGenerator, MultiLabelDataset};
 use p2b_privacy::{amplified_epsilon, Participation};
-use p2b_sim::{
-    run_logged_experiment, LoggedExperimentConfig, Regime, RegimeOutcome, SeriesPoint,
-};
+use p2b_sim::{run_logged_experiment, LoggedExperimentConfig, Regime, RegimeOutcome, SeriesPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

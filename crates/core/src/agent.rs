@@ -219,7 +219,9 @@ mod tests {
     fn interactions_update_the_policy_and_queue_reports() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut agent = LocalAgent::new(1, &config(), encoder(1), None).unwrap();
-        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1])
+            .normalized_l1()
+            .unwrap();
         for _ in 0..20 {
             let action = agent.select_action(&ctx, &mut rng).unwrap();
             agent.observe_reward(&ctx, action, 1.0, &mut rng).unwrap();
@@ -230,7 +232,10 @@ mod tests {
         // queued with overwhelming probability under this seed.
         let reports = agent.take_reports();
         assert!(!reports.is_empty());
-        assert!(agent.take_reports().is_empty(), "drain must clear the queue");
+        assert!(
+            agent.take_reports().is_empty(),
+            "drain must clear the queue"
+        );
         assert_eq!(agent.reporter().opportunities(), 10);
     }
 
@@ -256,9 +261,13 @@ mod tests {
 
         // Train a central model that prefers action 2 for the centroid of
         // whatever code the test context falls into.
-        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1])
+            .normalized_l1()
+            .unwrap();
         let code = enc.encode(&ctx).unwrap();
-        let model_ctx = CodeRepresentation::Centroid.vector(enc.as_ref(), code).unwrap();
+        let model_ctx = CodeRepresentation::Centroid
+            .vector(enc.as_ref(), code)
+            .unwrap();
         let mut central = LinUcb::new(cfg.central_linucb(enc.as_ref())).unwrap();
         for _ in 0..200 {
             central.update(&model_ctx, Action::new(2), 1.0).unwrap();

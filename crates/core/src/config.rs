@@ -45,11 +45,7 @@ impl CodeRepresentation {
     /// # Errors
     ///
     /// Propagates encoder errors for out-of-range codes.
-    pub fn vector(
-        &self,
-        encoder: &dyn Encoder,
-        code: ContextCode,
-    ) -> Result<Vector, CoreError> {
+    pub fn vector(&self, encoder: &dyn Encoder, code: ContextCode) -> Result<Vector, CoreError> {
         match self {
             CodeRepresentation::Centroid => Ok(encoder.representative(code)?),
             CodeRepresentation::OneHot => {
@@ -186,10 +182,7 @@ impl P2bConfig {
         if !self.delta_omega.is_finite() || self.delta_omega <= 0.0 {
             return Err(CoreError::InvalidConfig {
                 parameter: "delta_omega",
-                message: format!(
-                    "must be a finite positive number, got {}",
-                    self.delta_omega
-                ),
+                message: format!("must be a finite positive number, got {}", self.delta_omega),
             });
         }
         // Participation is validated by the privacy crate's constructor.

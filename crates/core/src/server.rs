@@ -212,8 +212,7 @@ mod tests {
         let ctx = Vector::filled(4, 0.25);
         assert!(server.ingest_raw(&ctx, Action::new(0), 1.0).is_ok());
 
-        let onehot_cfg =
-            P2bConfig::new(4, 2).with_code_representation(CodeRepresentation::OneHot);
+        let onehot_cfg = P2bConfig::new(4, 2).with_code_representation(CodeRepresentation::OneHot);
         let mut server = CentralServer::new(&onehot_cfg, enc).unwrap();
         assert!(server.ingest_raw(&ctx, Action::new(0), 1.0).is_err());
     }

@@ -129,7 +129,9 @@ impl P2bSystem {
     ///
     /// Propagates server-side model errors.
     pub fn flush_round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<RoundStats, CoreError> {
-        let batch = self.shuffler.process(std::mem::take(&mut self.pending), rng);
+        let batch = self
+            .shuffler
+            .process(std::mem::take(&mut self.pending), rng);
         let accepted = self.server.ingest_batch(&batch)?;
         Ok(RoundStats {
             received: batch.stats().received,
@@ -150,7 +152,9 @@ impl P2bSystem {
         &mut self,
         rng: &mut R,
     ) -> Result<(RoundStats, ShuffledBatch), CoreError> {
-        let batch = self.shuffler.process(std::mem::take(&mut self.pending), rng);
+        let batch = self
+            .shuffler
+            .process(std::mem::take(&mut self.pending), rng);
         let accepted = self.server.ingest_batch(&batch)?;
         let stats = RoundStats {
             received: batch.stats().received,
@@ -233,13 +237,17 @@ mod tests {
         let mut system = system(2);
         // Many agents interact with the same strongly-clustered context and
         // always receive reward 1 for action 0.
-        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1])
+            .normalized_l1()
+            .unwrap();
         for _ in 0..40 {
             let mut agent = system.make_agent(&mut rng).unwrap();
             for _ in 0..4 {
                 let action = agent.select_action(&ctx, &mut rng).unwrap();
                 let reward = if action.index() == 0 { 1.0 } else { 0.0 };
-                agent.observe_reward(&ctx, action, reward, &mut rng).unwrap();
+                agent
+                    .observe_reward(&ctx, action, reward, &mut rng)
+                    .unwrap();
             }
             system.collect_from(&mut agent);
         }
@@ -282,7 +290,9 @@ mod tests {
     fn warm_agents_start_from_the_central_model() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut system = system(1);
-        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1]).normalized_l1().unwrap();
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1])
+            .normalized_l1()
+            .unwrap();
 
         // Phase 1: a population of agents teaches the server that action 2 pays.
         for _ in 0..60 {
@@ -290,7 +300,9 @@ mod tests {
             for _ in 0..3 {
                 let action = agent.select_action(&ctx, &mut rng).unwrap();
                 let reward = if action.index() == 2 { 1.0 } else { 0.0 };
-                agent.observe_reward(&ctx, action, reward, &mut rng).unwrap();
+                agent
+                    .observe_reward(&ctx, action, reward, &mut rng)
+                    .unwrap();
             }
             system.collect_from(&mut agent);
         }

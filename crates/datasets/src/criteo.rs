@@ -412,8 +412,8 @@ mod tests {
         let generator = generator(5);
         let mut rng = StdRng::seed_from_u64(6);
         let impressions = generator.generate(5000, &mut rng).unwrap();
-        let ctr = impressions.iter().filter(|i| i.clicked()).count() as f64
-            / impressions.len() as f64;
+        let ctr =
+            impressions.iter().filter(|i| i.clicked()).count() as f64 / impressions.len() as f64;
         // Base rate 0.2 plus a small affinity bonus: CTR should land between
         // 0.15 and 0.6 for any seed.
         assert!((0.15..0.6).contains(&ctr), "ctr = {ctr}");
@@ -497,9 +497,7 @@ mod tests {
         assert_eq!(agents.len(), 5);
         assert!(agents.iter().all(|a| a.len() == 100));
         assert!(CriteoLikeGenerator::split_agents(&impressions, 0, 10).is_err());
-        assert!(
-            CriteoLikeGenerator::split_agents(&impressions, 1_000_000, 100).is_err()
-        );
+        assert!(CriteoLikeGenerator::split_agents(&impressions, 1_000_000, 100).is_err());
     }
 
     #[test]

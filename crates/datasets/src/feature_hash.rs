@@ -108,8 +108,12 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_hashes() {
-        let a = FeatureHasher::new(1000, 1).unwrap().hash_category_tuple(&[9, 9, 9]);
-        let b = FeatureHasher::new(1000, 2).unwrap().hash_category_tuple(&[9, 9, 9]);
+        let a = FeatureHasher::new(1000, 1)
+            .unwrap()
+            .hash_category_tuple(&[9, 9, 9]);
+        let b = FeatureHasher::new(1000, 2)
+            .unwrap()
+            .hash_category_tuple(&[9, 9, 9]);
         assert_ne!(a, b);
     }
 

@@ -365,8 +365,7 @@ mod tests {
     #[test]
     fn generated_instances_have_valid_contexts_and_labels() {
         let mut rng = StdRng::seed_from_u64(1);
-        let ds =
-            MultiLabelDataset::generate(MultiLabelConfig::new(500, 10, 8), &mut rng).unwrap();
+        let ds = MultiLabelDataset::generate(MultiLabelConfig::new(500, 10, 8), &mut rng).unwrap();
         assert_eq!(ds.len(), 500);
         for instance in ds.instances() {
             assert_eq!(instance.context().len(), 10);
@@ -451,8 +450,7 @@ mod tests {
     #[test]
     fn agent_split_is_a_partition_without_replacement() {
         let mut rng = StdRng::seed_from_u64(5);
-        let ds =
-            MultiLabelDataset::generate(MultiLabelConfig::new(1000, 6, 5), &mut rng).unwrap();
+        let ds = MultiLabelDataset::generate(MultiLabelConfig::new(1000, 6, 5), &mut rng).unwrap();
         let agents = ds.split_agents(8, 100, &mut rng).unwrap();
         assert_eq!(agents.len(), 8);
         assert!(agents.iter().all(|a| a.len() == 100));

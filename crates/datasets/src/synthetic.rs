@@ -174,7 +174,7 @@ impl ContextualEnvironment for SyntheticPreferenceEnvironment {
         // Uniform Dirichlet(1, ..., 1) sample: normalized exponentials.
         let raw: Vec<f64> = (0..self.config.context_dimension)
             .map(|_| {
-                let u: f64 = (&mut *rng).gen::<f64>().max(1e-12);
+                let u: f64 = (*rng).gen::<f64>().max(1e-12);
                 -u.ln()
             })
             .collect();
@@ -229,12 +229,8 @@ mod tests {
     #[test]
     fn rejects_invalid_configurations() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(
-            SyntheticPreferenceEnvironment::new(SyntheticConfig::new(0, 5), &mut rng).is_err()
-        );
-        assert!(
-            SyntheticPreferenceEnvironment::new(SyntheticConfig::new(5, 0), &mut rng).is_err()
-        );
+        assert!(SyntheticPreferenceEnvironment::new(SyntheticConfig::new(0, 5), &mut rng).is_err());
+        assert!(SyntheticPreferenceEnvironment::new(SyntheticConfig::new(5, 0), &mut rng).is_err());
         assert!(SyntheticPreferenceEnvironment::new(
             SyntheticConfig::new(5, 5).with_beta(1.5),
             &mut rng
@@ -314,7 +310,10 @@ mod tests {
         let optima: std::collections::HashSet<usize> = (0..6)
             .map(|i| env.optimal_action(&Vector::basis(6, i)).unwrap())
             .collect();
-        assert!(optima.len() > 1, "environment has a context-independent optimum");
+        assert!(
+            optima.len() > 1,
+            "environment has a context-independent optimum"
+        );
     }
 
     #[test]

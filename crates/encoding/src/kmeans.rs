@@ -3,7 +3,6 @@
 use crate::encoder::{check_code, check_dimension};
 use crate::{ContextCode, Encoder, EncoderStats, EncodingError};
 use p2b_linalg::Vector;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +69,10 @@ impl KMeansConfig {
         if !self.tolerance.is_finite() || self.tolerance < 0.0 {
             return Err(EncodingError::InvalidConfig {
                 parameter: "tolerance",
-                message: format!("must be a finite non-negative number, got {}", self.tolerance),
+                message: format!(
+                    "must be a finite non-negative number, got {}",
+                    self.tolerance
+                ),
             });
         }
         Ok(())
@@ -97,11 +99,13 @@ pub struct KMeansEncoder {
 impl KMeansEncoder {
     /// Fits the encoder on a corpus of context vectors.
     ///
-    /// Initialization picks `k` distinct samples uniformly at random
-    /// (k-means++ style seeding is unnecessary at the small `k` values used
-    /// by the paper, and random seeding keeps the fit `O(k·d)` per step).
-    /// Mini-batch updates follow Sculley (2010): each centroid moves towards
-    /// assigned batch points with a per-centroid learning rate `1/count`.
+    /// Initialization uses k-means++ seeding (Arthur & Vassilvitskii 2007):
+    /// the first centroid is a uniform sample and each further centroid is
+    /// drawn with probability proportional to its squared distance from the
+    /// nearest centroid chosen so far, which makes well-separated clusters
+    /// recoverable regardless of the seed. Mini-batch updates follow
+    /// Sculley (2010): each centroid moves towards assigned batch points
+    /// with a per-centroid learning rate `1/count`.
     ///
     /// # Errors
     ///
@@ -127,13 +131,53 @@ impl KMeansEncoder {
             check_dimension(dimension, sample)?;
         }
 
-        // Random distinct initialization.
-        let mut indices: Vec<usize> = (0..corpus.len()).collect();
-        indices.shuffle(rng);
-        let mut centroids: Vec<Vector> = indices[..config.num_codes]
-            .iter()
-            .map(|&i| corpus[i].clone())
-            .collect();
+        // k-means++ initialization: spread the seeds out so a generating
+        // cluster is never left without a centroid merely because of an
+        // unlucky uniform draw.
+        let mut centroids: Vec<Vector> = vec![corpus[rng.gen_range(0..corpus.len())].clone()];
+        let mut nearest_sq = Vec::with_capacity(corpus.len());
+        for sample in corpus {
+            nearest_sq.push(centroids[0].squared_distance(sample)?);
+        }
+        while centroids.len() < config.num_codes {
+            let total: f64 = nearest_sq.iter().sum();
+            let chosen = if total > 0.0 {
+                // Inverse-CDF sample proportional to squared distance.
+                // Zero-weight samples (already-chosen centroids) are never
+                // eligible, so a duplicate centroid — and with it an empty
+                // cluster reporting min_cluster_size 0 to the privacy layer
+                // — cannot be produced by a 0.0 draw or rounding residue.
+                let mut remaining = rng.gen::<f64>() * total;
+                let mut chosen = None;
+                for (i, &weight) in nearest_sq.iter().enumerate() {
+                    if weight <= 0.0 {
+                        continue;
+                    }
+                    remaining -= weight;
+                    if remaining <= 0.0 {
+                        chosen = Some(i);
+                        break;
+                    }
+                }
+                chosen.unwrap_or_else(|| {
+                    // Rounding left a residue: take the heaviest sample.
+                    nearest_sq
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .expect("corpus is non-empty")
+                })
+            } else {
+                // All samples coincide with a centroid; any pick works.
+                rng.gen_range(0..corpus.len())
+            };
+            let centroid = corpus[chosen].clone();
+            for (sample, nearest) in corpus.iter().zip(nearest_sq.iter_mut()) {
+                *nearest = nearest.min(centroid.squared_distance(sample)?);
+            }
+            centroids.push(centroid);
+        }
         let mut counts = vec![0u64; config.num_codes];
 
         for _ in 0..config.iterations {

@@ -104,7 +104,10 @@ impl LshEncoder {
             center,
             config,
             stats: EncoderStats::from_assignments(num_codes, &[], &[]),
-            representatives: vec![Vector::filled(config.dimension, 1.0 / config.dimension as f64); num_codes],
+            representatives: vec![
+                Vector::filled(config.dimension, 1.0 / config.dimension as f64);
+                num_codes
+            ],
         };
 
         if !corpus.is_empty() {
@@ -131,8 +134,7 @@ impl LshEncoder {
                         .unwrap_or(0.0)
                 })
                 .collect();
-            encoder.stats =
-                EncoderStats::from_assignments(num_codes, &assignments, &distortions);
+            encoder.stats = EncoderStats::from_assignments(num_codes, &assignments, &distortions);
         }
 
         Ok(encoder)

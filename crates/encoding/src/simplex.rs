@@ -181,7 +181,8 @@ mod tests {
     #[test]
     fn enumeration_produces_distinct_points() {
         let grid = enumerate_simplex_grid(3, 1, 1000).unwrap();
-        let unique: std::collections::HashSet<_> = grid.iter().map(|p| p.units().to_vec()).collect();
+        let unique: std::collections::HashSet<_> =
+            grid.iter().map(|p| p.units().to_vec()).collect();
         assert_eq!(unique.len(), grid.len());
     }
 

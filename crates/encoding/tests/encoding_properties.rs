@@ -1,8 +1,8 @@
 //! Property-based tests for the encoding subsystem.
 
 use p2b_encoding::{
-    enumerate_simplex_grid, simplex_cardinality, Encoder, GridEncoder, KMeansConfig,
-    KMeansEncoder, LshConfig, LshEncoder, Quantizer,
+    enumerate_simplex_grid, simplex_cardinality, Encoder, GridEncoder, KMeansConfig, KMeansEncoder,
+    LshConfig, LshEncoder, Quantizer,
 };
 use p2b_linalg::Vector;
 use proptest::prelude::*;

@@ -103,8 +103,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.lower.get(i, k) * y[k];
+            for (k, &y_k) in y.iter().enumerate().take(i) {
+                sum -= self.lower.get(i, k) * y_k;
             }
             y[i] = sum / self.lower.get(i, i);
         }
@@ -112,8 +112,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.lower.get(k, i) * x[k];
+            for (k, &x_k) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lower.get(k, i) * x_k;
             }
             x[i] = sum / self.lower.get(i, i);
         }
@@ -163,8 +163,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = x[i];
-            for k in 0..i {
-                sum -= self.lower.get(i, k) * y[k];
+            for (k, &y_k) in y.iter().enumerate().take(i) {
+                sum -= self.lower.get(i, k) * y_k;
             }
             y[i] = sum / self.lower.get(i, i);
         }

@@ -47,11 +47,7 @@ pub fn amplified_epsilon(p: Participation, epsilon_bar: f64) -> Result<f64, Priv
 ///
 /// Returns [`PrivacyError::InvalidParameter`] when `crowd_size == 0` or
 /// `omega` is not strictly positive and finite.
-pub fn amplified_delta(
-    p: Participation,
-    crowd_size: u64,
-    omega: f64,
-) -> Result<f64, PrivacyError> {
+pub fn amplified_delta(p: Participation, crowd_size: u64, omega: f64) -> Result<f64, PrivacyError> {
     if crowd_size == 0 {
         return Err(PrivacyError::InvalidParameter {
             name: "crowd_size",
@@ -114,7 +110,11 @@ pub struct EpsilonPoint {
 ///
 /// Returns [`PrivacyError::InvalidParameter`] when the range is empty,
 /// out of `(0, 1)`, or `steps == 0`.
-pub fn epsilon_sweep(p_min: f64, p_max: f64, steps: usize) -> Result<Vec<EpsilonPoint>, PrivacyError> {
+pub fn epsilon_sweep(
+    p_min: f64,
+    p_max: f64,
+    steps: usize,
+) -> Result<Vec<EpsilonPoint>, PrivacyError> {
     if steps == 0 {
         return Err(PrivacyError::InvalidParameter {
             name: "steps",

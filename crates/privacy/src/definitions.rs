@@ -20,7 +20,10 @@ impl Participation {
     /// Returns [`PrivacyError::InvalidProbability`] unless `0 < p < 1`.
     pub fn new(p: f64) -> Result<Self, PrivacyError> {
         if !p.is_finite() || p <= 0.0 || p >= 1.0 {
-            return Err(PrivacyError::InvalidProbability { name: "p", value: p });
+            return Err(PrivacyError::InvalidProbability {
+                name: "p",
+                value: p,
+            });
         }
         Ok(Self(p))
     }

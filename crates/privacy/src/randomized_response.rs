@@ -79,10 +79,7 @@ impl RandomizedResponse {
         if value >= self.num_categories {
             return Err(PrivacyError::InvalidParameter {
                 name: "value",
-                message: format!(
-                    "must be below {}, got {value}",
-                    self.num_categories
-                ),
+                message: format!("must be below {}, got {value}", self.num_categories),
             });
         }
         if rng.gen::<f64>() < self.truth_probability() {

@@ -57,7 +57,11 @@ impl EncodedReport {
 
 impl fmt::Display for EncodedReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(y={}, a={}, r={:.3})", self.code, self.action, self.reward)
+        write!(
+            f,
+            "(y={}, a={}, r={:.3})",
+            self.code, self.action, self.reward
+        )
     }
 }
 

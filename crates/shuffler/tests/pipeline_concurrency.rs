@@ -1,0 +1,130 @@
+//! Satellite test for the streaming shuffler: many producer threads feed one
+//! pipeline, and the released set must be exactly the threshold-surviving
+//! multiset — no report lost, none duplicated, none leaked below threshold.
+
+use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerPipeline};
+use std::collections::HashMap;
+
+fn raw(agent: usize, code: usize) -> RawReport {
+    RawReport::new(
+        format!("agent-{agent}"),
+        EncodedReport::new(code, code % 3, 1.0).expect("valid report"),
+    )
+}
+
+/// Multiset of code frequencies in a report list.
+fn frequencies(codes: impl Iterator<Item = usize>) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    for code in codes {
+        *map.entry(code).or_insert(0) += 1;
+    }
+    map
+}
+
+#[test]
+fn concurrent_producers_release_exactly_the_surviving_set() {
+    const PRODUCERS: usize = 8;
+    const REPORTS_PER_PRODUCER: usize = 125;
+    const TOTAL: usize = PRODUCERS * REPORTS_PER_PRODUCER;
+    const THRESHOLD: usize = 100;
+
+    // One batch spanning every submission, so thresholding applies to the
+    // full multiset and the expected outcome is exact: each producer emits
+    // codes 0..=4 with code weights 5:4:3:2:1 per block of 15.
+    let code_of = |i: usize| -> usize {
+        match i % 15 {
+            0..=4 => 0,
+            5..=8 => 1,
+            9..=11 => 2,
+            12..=13 => 3,
+            _ => 4,
+        }
+    };
+
+    let pipeline =
+        ShufflerPipeline::new(ShufflerConfig::new(THRESHOLD), TOTAL).expect("valid pipeline");
+    let handle = pipeline.spawn(99);
+    std::thread::scope(|scope| {
+        for producer in 0..PRODUCERS {
+            let handle_ref = &handle;
+            scope.spawn(move || {
+                for i in 0..REPORTS_PER_PRODUCER {
+                    handle_ref
+                        .submit(raw(producer, code_of(i)))
+                        .expect("pipeline accepts submissions while open");
+                }
+            });
+        }
+    });
+    let batches = handle.finish();
+
+    // All submissions land in a single full batch.
+    assert_eq!(batches.len(), 1);
+    let stats = batches[0].stats();
+    assert_eq!(stats.received, TOTAL);
+    assert_eq!(stats.released + stats.dropped, TOTAL);
+
+    let submitted = frequencies((0..REPORTS_PER_PRODUCER).map(code_of))
+        .into_iter()
+        .map(|(code, count)| (code, count * PRODUCERS))
+        .collect::<HashMap<_, _>>();
+    let released = frequencies(batches[0].reports().iter().map(|r| r.code()));
+
+    // Exactly the threshold-surviving codes are released, at exactly their
+    // submitted multiplicities: nothing lost, nothing duplicated.
+    for (&code, &count) in &submitted {
+        if count >= THRESHOLD {
+            assert_eq!(
+                released.get(&code),
+                Some(&count),
+                "code {code} should survive with its exact multiplicity"
+            );
+        } else {
+            assert!(
+                !released.contains_key(&code),
+                "code {code} (count {count}) must be suppressed below threshold {THRESHOLD}"
+            );
+        }
+    }
+    // And nothing not submitted ever appears.
+    for code in released.keys() {
+        assert!(submitted.contains_key(code), "unknown code {code} released");
+    }
+}
+
+#[test]
+fn per_batch_thresholding_still_conserves_received_counts() {
+    // Smaller batches: batch boundaries depend on arrival interleaving, so
+    // the released multiset is not deterministic — but conservation
+    // (received = released + dropped, summed to the total) must still hold.
+    const PRODUCERS: usize = 4;
+    const REPORTS_PER_PRODUCER: usize = 100;
+
+    let pipeline = ShufflerPipeline::new(ShufflerConfig::new(5), 32).expect("valid pipeline");
+    let handle = pipeline.spawn(7);
+    std::thread::scope(|scope| {
+        for producer in 0..PRODUCERS {
+            let handle_ref = &handle;
+            scope.spawn(move || {
+                for i in 0..REPORTS_PER_PRODUCER {
+                    handle_ref
+                        .submit(raw(producer, i % 7))
+                        .expect("pipeline accepts submissions while open");
+                }
+            });
+        }
+    });
+    let batches = handle.finish();
+    let received: usize = batches.iter().map(|b| b.stats().received).sum();
+    let accounted: usize = batches
+        .iter()
+        .map(|b| b.stats().released + b.stats().dropped)
+        .sum();
+    assert_eq!(received, PRODUCERS * REPORTS_PER_PRODUCER);
+    assert_eq!(accounted, received);
+    let released: usize = batches.iter().map(|b| b.reports().len()).sum();
+    assert_eq!(
+        released,
+        batches.iter().map(|b| b.stats().released).sum::<usize>()
+    );
+}

@@ -138,7 +138,10 @@ impl LoggedExperimentConfig {
         if !(0.0..1.0).contains(&self.train_fraction) || self.train_fraction <= 0.0 {
             return Err(SimError::InvalidConfig {
                 parameter: "train_fraction",
-                message: format!("must lie strictly inside (0, 1), got {}", self.train_fraction),
+                message: format!(
+                    "must lie strictly inside (0, 1), got {}",
+                    self.train_fraction
+                ),
             });
         }
         if self.num_codes == 0 || self.local_interactions == 0 || self.flush_every_reports == 0 {
@@ -329,7 +332,9 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        dataset.split_agents(num_agents, per_agent, &mut rng).unwrap()
+        dataset
+            .split_agents(num_agents, per_agent, &mut rng)
+            .unwrap()
     }
 
     fn config(regime: Regime) -> LoggedExperimentConfig {

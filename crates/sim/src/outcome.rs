@@ -97,7 +97,10 @@ mod tests {
         let point = SeriesPoint::new(
             "num_users",
             100.0,
-            vec![outcome(Regime::Cold, 0.1), outcome(Regime::WarmPrivate, 0.2)],
+            vec![
+                outcome(Regime::Cold, 0.1),
+                outcome(Regime::WarmPrivate, 0.2),
+            ],
         );
         assert_eq!(point.outcome(Regime::Cold).unwrap().average_reward, 0.1);
         assert!(point.outcome(Regime::WarmNonPrivate).is_none());

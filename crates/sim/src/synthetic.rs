@@ -319,11 +319,10 @@ mod tests {
         // One reporting opportunity per user (T = 10), taken with p = 0.5.
         assert!(non_private.reports_to_server <= 5);
 
-        let private =
-            run_synthetic_population(env, small_config(Regime::WarmPrivate, 20)).unwrap();
+        let private = run_synthetic_population(env, small_config(Regime::WarmPrivate, 20)).unwrap();
         let eps = private.epsilon.unwrap();
         assert!((eps - std::f64::consts::LN_2).abs() < 1e-12);
-        assert!(private.reports_to_server <= 20 * 1);
+        assert!(private.reports_to_server <= 20);
     }
 
     #[test]
@@ -335,8 +334,7 @@ mod tests {
         let env = SyntheticConfig::new(5, 10)
             .with_beta(0.8)
             .with_noise_variance(0.0025);
-        let cold =
-            run_synthetic_population(env, small_config(Regime::Cold, 400)).unwrap();
+        let cold = run_synthetic_population(env, small_config(Regime::Cold, 400)).unwrap();
         let warm =
             run_synthetic_population(env, small_config(Regime::WarmNonPrivate, 400)).unwrap();
         assert!(

@@ -1,0 +1,74 @@
+//! Satellite tests for `sim::parallel_map`: result ordering under heavy
+//! thread counts, the `max_threads == 0` degenerate case, and panic
+//! propagation out of worker closures.
+
+use p2b_sim::parallel_map;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn results_keep_input_order_for_every_thread_count() {
+    let inputs: Vec<u64> = (0..200).collect();
+    let expected: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+    for max_threads in [0, 1, 2, 3, 8, 64, 1000] {
+        let outputs = parallel_map(inputs.clone(), max_threads, |x| x * x);
+        assert_eq!(
+            outputs, expected,
+            "order broken at max_threads={max_threads}"
+        );
+    }
+}
+
+#[test]
+fn order_holds_even_when_early_items_finish_last() {
+    // Make the first items the slowest so naive completion-order collection
+    // would reverse the prefix.
+    let inputs: Vec<u64> = (0..32).collect();
+    let outputs = parallel_map(inputs.clone(), 8, |x| {
+        if x < 8 {
+            std::thread::sleep(std::time::Duration::from_millis(20 - 2 * x));
+        }
+        x + 1
+    });
+    assert_eq!(outputs, inputs.iter().map(|x| x + 1).collect::<Vec<_>>());
+}
+
+#[test]
+fn zero_max_threads_is_treated_as_sequential() {
+    // max_threads == 0 must behave exactly like a single-threaded map: same
+    // results, and every closure call on the calling thread.
+    let caller = std::thread::current().id();
+    let calls = AtomicUsize::new(0);
+    let outputs = parallel_map(vec![10, 20, 30], 0, |x| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(std::thread::current().id(), caller);
+        x / 10
+    });
+    assert_eq!(outputs, vec![1, 2, 3]);
+    assert_eq!(calls.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn empty_input_short_circuits_without_spawning() {
+    assert_eq!(parallel_map(Vec::<u8>::new(), 0, |x| x), Vec::<u8>::new());
+    assert_eq!(parallel_map(Vec::<u8>::new(), 16, |x| x), Vec::<u8>::new());
+}
+
+#[test]
+fn panics_in_workers_propagate_to_the_caller() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        parallel_map((0..64).collect::<Vec<u64>>(), 4, |x| {
+            assert!(x != 17, "poisoned item");
+            x
+        })
+    }));
+    assert!(result.is_err(), "worker panic must not be swallowed");
+}
+
+#[test]
+fn panics_propagate_in_the_sequential_path_too() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        parallel_map(vec![1u8], 1, |_| -> u8 { panic!("single item panics") })
+    }));
+    assert!(result.is_err());
+}

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_shuffler_threshold(10)
             .with_seed(71);
         let outcome = run_logged_experiment(&agents, config)?;
-        println!("{:>22} {:>10.4}", regime.to_string(), outcome.average_reward);
+        println!(
+            "{:>22} {:>10.4}",
+            regime.to_string(),
+            outcome.average_reward
+        );
     }
     println!(
         "\nexpected shape (paper Figure 7): warm regimes beat the cold baseline, and for larger \

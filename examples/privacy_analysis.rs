@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Inverse question: what participation achieves a target budget?
     for target in [0.25, 0.5, 1.0] {
         let p = participation_for_epsilon(target)?;
-        println!("  to get epsilon = {target:.2}, participate with p = {:.3}", p.value());
+        println!(
+            "  to get epsilon = {target:.2}, participate with p = {:.3}",
+            p.value()
+        );
     }
 
     // Sequential composition: an agent reporting r tuples spends r * epsilon.
@@ -59,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut rng = StdRng::seed_from_u64(1);
     let reports: Vec<usize> = (0..20_000)
-        .map(|i| rr.randomize(if i % 5 == 0 { 7 } else { 3 }, &mut rng).unwrap())
+        .map(|i| {
+            rr.randomize(if i % 5 == 0 { 7 } else { 3 }, &mut rng)
+                .unwrap()
+        })
         .collect();
     let estimate = rr.estimate_frequencies(&reports);
     println!(

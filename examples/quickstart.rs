@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus: Vec<Vector> = (0..512)
         .map(|_| {
             let raw: Vec<f64> = (0..dimension).map(|_| rng.gen::<f64>()).collect();
-            Vector::from(raw).normalized_l1().expect("non-empty context")
+            Vector::from(raw)
+                .normalized_l1()
+                .expect("non-empty context")
         })
         .collect();
     let encoder = Arc::new(KMeansEncoder::fit(
@@ -41,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_local_interactions(5)
         .with_shuffler_threshold(3);
     let mut system = P2bSystem::new(config, encoder)?;
-    println!("differential privacy guarantee per report: {}", system.privacy_guarantee()?);
+    println!(
+        "differential privacy guarantee per report: {}",
+        system.privacy_guarantee()?
+    );
 
     // 3. Simulate a population: the "true" best action is the index of the
     //    largest context entry, modulo the action count.

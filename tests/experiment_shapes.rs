@@ -86,7 +86,9 @@ fn multilabel_accuracy_ordering_and_gap() {
     let num_agents = 100;
     let per_agent = 60;
     let dataset = MultiLabelDataset::textmining_like(num_agents * per_agent, &mut rng).unwrap();
-    let agents = dataset.split_agents(num_agents, per_agent, &mut rng).unwrap();
+    let agents = dataset
+        .split_agents(num_agents, per_agent, &mut rng)
+        .unwrap();
 
     let outcome = |regime| {
         run_logged_experiment(
@@ -129,10 +131,16 @@ fn reported_epsilon_tracks_participation() {
             .with_shuffler_threshold(2)
             .with_seed(30);
         config.participation = p;
-        run_synthetic_population(env, config).unwrap().epsilon.unwrap()
+        run_synthetic_population(env, config)
+            .unwrap()
+            .epsilon
+            .unwrap()
     };
     let low = run(0.25);
     let high = run(0.75);
-    assert!(low < high, "epsilon at p=0.25 ({low}) must be below p=0.75 ({high})");
+    assert!(
+        low < high,
+        "epsilon at p=0.25 ({low}) must be below p=0.75 ({high})"
+    );
     assert!((run(0.5) - std::f64::consts::LN_2).abs() < 1e-12);
 }

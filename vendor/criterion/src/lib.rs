@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `BatchSize`, and the `criterion_group!`
+//! / `criterion_main!` macros — with a simple mean-wall-clock measurement
+//! instead of criterion's statistical machinery. Good enough to keep the
+//! `cargo bench` trajectory compiling and producing comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API parity and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Measures closures passed by the benchmark functions.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations after a short
+    /// warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERATIONS {
+            let _ = black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERATIONS {
+            let _ = black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = MEASURE_ITERATIONS;
+    }
+
+    /// Times `routine` over freshly set-up inputs; `setup` time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERATIONS.min(3) {
+            let input = setup();
+            let _ = black_box(routine(input));
+        }
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..MEASURE_ITERATIONS {
+            let input = setup();
+            let start = Instant::now();
+            let _ = black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iterations = MEASURE_ITERATIONS;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name}: no measurement");
+            return;
+        }
+        let nanos = self.elapsed.as_nanos() / u128::from(self.iterations);
+        println!("{name}: {nanos} ns/iter ({} iterations)", self.iterations);
+    }
+}
+
+const WARMUP_ITERATIONS: u64 = 10;
+const MEASURE_ITERATIONS: u64 = 100;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count; accepted for API parity and ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time; accepted for API parity and ignored.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// An identity function that hides a value from the optimizer.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut criterion = Criterion;
+        let mut calls = 0u64;
+        criterion.bench_function("counter", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, WARMUP_ITERATIONS + MEASURE_ITERATIONS);
+    }
+
+    #[test]
+    fn groups_run_parameterized_benches() {
+        let mut criterion = Criterion;
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(10);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            b.iter(|| total += u64::from(x));
+        });
+        group.bench_with_input(BenchmarkId::new("named", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+}

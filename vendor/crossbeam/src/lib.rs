@@ -1,0 +1,266 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses `crossbeam::channel::{unbounded, Sender, Receiver}`
+//! with handles shared by reference across scoped threads, so — unlike
+//! `std::sync::mpsc`, whose receiver is `!Sync` — both endpoints here are
+//! `Send + Sync`. The implementation is a plain `Mutex<VecDeque>` plus a
+//! `Condvar`, which is all the single-consumer pipeline needs.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// The sending half of an unbounded channel. Clonable and `Sync`.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying the value back when the receiver
+        /// has been dropped.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex is poisoned.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel poisoned");
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.inner.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel poisoned").senders += 1;
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.available.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half of an unbounded channel. `Sync`, single consumer
+    /// by convention.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; `None` once the channel is empty
+        /// and every sender has been dropped.
+        fn recv_opt(&self) -> Option<T> {
+            let mut state = self.inner.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Some(value);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self.inner.available.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// A blocking iterator that ends when the channel is disconnected.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// A non-blocking iterator over the values currently queued.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receiver_alive = false;
+        }
+    }
+
+    /// Blocking iterator over received values.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv_opt()
+        }
+    }
+
+    /// Non-blocking iterator over queued values.
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver
+                .inner
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .pop_front()
+        }
+    }
+
+    /// Creates an unbounded multi-producer channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn multi_producer_delivery() {
+        let (tx, rx) = unbounded::<usize>();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        tx.send(t * 25 + i).unwrap();
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn endpoints_are_shareable_by_reference() {
+        let (tx, rx) = unbounded::<usize>();
+        std::thread::scope(|scope| {
+            let tx_ref = &tx;
+            let rx_ref = &rx;
+            scope.spawn(move || {
+                for i in 0..10 {
+                    tx_ref.send(i).unwrap();
+                }
+            });
+            scope.spawn(move || {
+                let mut seen = 0;
+                while seen < 10 {
+                    seen += rx_ref.try_iter().count();
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx.try_iter().next().is_none());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn blocking_iter_ends_when_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let producer = std::thread::spawn(move || {
+            for i in 0..5 {
+                tx.send(i).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        let got: Vec<u8> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

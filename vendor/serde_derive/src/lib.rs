@@ -1,0 +1,315 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline). Supports the shapes used across the P2B workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype-style: one field serializes transparently,
+//!   larger tuples as arrays),
+//! * fieldless enums (serialized as the variant-name string).
+//!
+//! Generics and data-carrying enum variants produce a `compile_error!` with
+//! a clear message rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Named { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    Tuple { name: String, arity: usize },
+    /// Unit struct.
+    Unit { name: String },
+    /// Fieldless enum.
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Splits the token-trees of a brace/paren group body at top-level commas,
+/// treating `<`/`>` puncts as nesting so commas inside generics don't split.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tree in tokens {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tree.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Drops leading attribute pairs (`#` punct + bracket group) from a chunk.
+fn strip_attributes(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = chunk;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(g), tail @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                rest = tail;
+            }
+            _ => return rest,
+        }
+    }
+}
+
+/// The field name: the ident immediately preceding the first top-level `:`.
+fn named_field(chunk: &[TokenTree]) -> Option<String> {
+    let chunk = strip_attributes(chunk);
+    let mut previous: Option<String> = None;
+    for tree in chunk {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == ':' => return previous,
+            TokenTree::Ident(ident) => previous = Some(ident.to_string()),
+            _ => previous = None,
+        }
+    }
+    None
+}
+
+/// The variant name: the first ident of the chunk. Rejects data-carrying
+/// variants (ident followed by a paren/brace group).
+fn enum_variant(chunk: &[TokenTree]) -> Result<String, String> {
+    let chunk = strip_attributes(chunk);
+    match chunk {
+        [TokenTree::Ident(ident)] => Ok(ident.to_string()),
+        [TokenTree::Ident(ident), TokenTree::Punct(p), ..] if p.as_char() == '=' => {
+            Ok(ident.to_string())
+        }
+        [TokenTree::Ident(ident), ..] => Err(format!(
+            "serde stand-in derive: variant `{ident}` carries data, only fieldless enums are supported"
+        )),
+        _ => Err("serde stand-in derive: unparseable enum variant".to_owned()),
+    }
+}
+
+fn parse_shape(input: &TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut index = 0;
+    // Skip outer attributes and visibility to find `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(index) {
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    index += 1;
+                    break word;
+                }
+                index += 1;
+            }
+            Some(_) => index += 1,
+            None => return Err("serde stand-in derive: no struct or enum found".to_owned()),
+        }
+    };
+    let name = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("serde stand-in derive: missing type name".to_owned()),
+    };
+    index += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(index) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive: `{name}` is generic; only concrete types are supported"
+            ));
+        }
+    }
+    // Skip anything (e.g. `where` clauses don't occur on concrete types)
+    // until the defining group or the `;` of a unit struct.
+    let body = loop {
+        match tokens.get(index) {
+            Some(TokenTree::Group(group)) => break Some(group.clone()),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break None,
+            Some(_) => index += 1,
+            None => break None,
+        }
+    };
+    match (kind.as_str(), body) {
+        ("struct", None) => Ok(Shape::Unit { name }),
+        ("struct", Some(group)) => {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let chunks = split_top_level(&inner);
+            match group.delimiter() {
+                Delimiter::Brace => {
+                    let fields: Option<Vec<String>> =
+                        chunks.iter().map(|c| named_field(c)).collect();
+                    fields
+                        .map(|fields| Shape::Named { name, fields })
+                        .ok_or_else(|| {
+                            "serde stand-in derive: could not parse struct fields".to_owned()
+                        })
+                }
+                Delimiter::Parenthesis => Ok(Shape::Tuple {
+                    name,
+                    arity: chunks.len(),
+                }),
+                _ => Err("serde stand-in derive: unexpected struct body".to_owned()),
+            }
+        }
+        ("enum", Some(group)) => {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let variants: Result<Vec<String>, String> = split_top_level(&inner)
+                .iter()
+                .map(|c| enum_variant(c))
+                .collect();
+            variants.map(|variants| Shape::Enum { name, variants })
+        }
+        _ => Err("serde stand-in derive: unsupported input".to_owned()),
+    }
+}
+
+/// Derives `serde::Serialize` via the stand-in's `Value` model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(&input) {
+        Ok(shape) => shape,
+        Err(message) => return compile_error(&message),
+    };
+    let body = match &shape {
+        Shape::Named { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(::std::vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?}"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::String(::std::string::String::from(match self {{ {} }}))\n}}\n}}",
+                arms.join(", ")
+            )
+        }
+    };
+    body.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` via the stand-in's `Value` model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(&input) {
+        Ok(shape) => shape,
+        Err(message) => return compile_error(&message),
+    };
+    let body = match &shape {
+        Shape::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         value.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Object(_) => ::std::result::Result::Ok(Self {{ {} }}),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 concat!(\"expected object for \", {name:?}))),\n\
+                 }}\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))\n}}\n}}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {arity} => \
+                 ::std::result::Result::Ok(Self({})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 concat!(\"expected array for \", {name:?}))),\n\
+                 }}\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok(Self)\n}}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {},\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 concat!(\"expected string for \", {name:?}))),\n\
+                 }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse().unwrap()
+}
