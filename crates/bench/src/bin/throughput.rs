@@ -1,0 +1,149 @@
+//! Shard-count scaling of the streaming shuffler engine.
+//!
+//! Submits the same multi-producer report stream to a
+//! [`p2b_shuffler::ShufflerEngine`] configured with 1, 2, 4 and 8 shards and
+//! reports end-to-end throughput (submission through merged-batch delivery),
+//! plus the speedup over the single-shard baseline. The single-shard
+//! configuration is the engine's equivalent of the legacy
+//! `ShufflerPipeline` lane, so the speedup column is the direct payoff of
+//! sharding.
+//!
+//! Numbers are only meaningful on a multi-core machine: every shard is one
+//! worker thread, and the producers run on `PRODUCERS` more. Run with:
+//!
+//! ```sh
+//! cargo run --release -p p2b_bench --bin throughput
+//! P2B_SCALE=full cargo run --release -p p2b_bench --bin throughput
+//! ```
+
+use p2b_bench::Scale;
+use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Producer threads submitting concurrently in every configuration.
+const PRODUCERS: usize = 8;
+/// Distinct encoded context codes in the synthetic stream.
+const CODES: usize = 64;
+/// Crowd-blending threshold (the paper's default `l`).
+const THRESHOLD: usize = 10;
+
+fn producer_stream(producer: usize, reports: usize) -> Vec<RawReport> {
+    let mut rng = StdRng::seed_from_u64(producer as u64 + 1);
+    (0..reports)
+        .map(|i| {
+            let code = rng.gen_range(0..CODES);
+            let action = rng.gen_range(0..10);
+            RawReport::with_timestamp(
+                format!("producer-{producer}"),
+                i as u64,
+                EncodedReport::new(code, action, f64::from(rng.gen_range(0..2u8)))
+                    .expect("rewards 0/1 are valid"),
+            )
+        })
+        .collect()
+}
+
+struct RunResult {
+    shards: usize,
+    wall_secs: f64,
+    reports_per_sec: f64,
+    batches: usize,
+    released: usize,
+}
+
+fn run(shards: usize, streams: &[Vec<RawReport>], batch_size: usize) -> RunResult {
+    let engine = ShufflerEngine::builder(ShufflerConfig::new(THRESHOLD))
+        .shards(shards)
+        .batch_size(batch_size)
+        .shard_queue_capacity(batch_size)
+        .build()
+        .expect("static configuration is valid");
+    let total: usize = streams.iter().map(Vec::len).sum();
+
+    let start = Instant::now();
+    let handle = engine.spawn(42);
+    std::thread::scope(|scope| {
+        for stream in streams {
+            let handle_ref = &handle;
+            scope.spawn(move || {
+                for report in stream.iter().cloned() {
+                    handle_ref
+                        .submit(report)
+                        .expect("engine stays open during the run");
+                }
+            });
+        }
+    });
+    let output = handle.finish();
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let received: usize = output
+        .batches
+        .iter()
+        .map(|b| b.batch.stats().received)
+        .sum();
+    assert_eq!(received, total, "the engine must conserve every report");
+    RunResult {
+        shards,
+        wall_secs,
+        reports_per_sec: total as f64 / wall_secs,
+        batches: output.batches.len(),
+        released: output
+            .batches
+            .iter()
+            .map(|b| b.batch.stats().released)
+            .sum(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let per_producer = scale.pick(5_000, 50_000, 250_000);
+    let batch_size = scale.pick(1_024, 4_096, 8_192);
+    let total = per_producer * PRODUCERS;
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("Sharded shuffler engine throughput");
+    println!(
+        "{total} reports, {PRODUCERS} producers, batch size {batch_size}, \
+         threshold {THRESHOLD}, {cores} hardware threads"
+    );
+    if cores < 4 {
+        println!("warning: fewer than 4 hardware threads; shard scaling will not show here");
+    }
+
+    let streams: Vec<Vec<RawReport>> = (0..PRODUCERS)
+        .map(|p| producer_stream(p, per_producer))
+        .collect();
+
+    // Warm-up pass so allocator and page-cache effects do not favor the
+    // later (multi-shard) runs.
+    let _ = run(1, &streams, batch_size);
+
+    println!(
+        "\n{:>7} {:>10} {:>14} {:>9} {:>10} {:>9}",
+        "shards", "wall (ms)", "reports/s", "batches", "released", "speedup"
+    );
+    let mut baseline = None;
+    for shards in [1usize, 2, 4, 8] {
+        let result = run(shards, &streams, batch_size);
+        let baseline_rate = *baseline.get_or_insert(result.reports_per_sec);
+        println!(
+            "{:>7} {:>10.1} {:>14.0} {:>9} {:>10} {:>8.2}x",
+            result.shards,
+            result.wall_secs * 1e3,
+            result.reports_per_sec,
+            result.batches,
+            result.released,
+            result.reports_per_sec / baseline_rate
+        );
+    }
+    println!(
+        "\nspeedup is relative to the 1-shard engine; see README.md#performance \
+         for the result table template"
+    );
+}

@@ -82,6 +82,15 @@ pub struct P2bConfig {
     /// Shuffler frequency threshold, which doubles as the crowd-blending `l`
     /// (paper: 10).
     pub shuffler_threshold: usize,
+    /// Number of shuffler shards used by the streaming engine
+    /// ([`crate::P2bSystem::spawn_engine`]). The default of 1 preserves the
+    /// canonical single-lane behavior; the synchronous
+    /// [`crate::P2bSystem::flush_round`] path ignores this knob entirely.
+    pub shuffler_shards: usize,
+    /// Merged batch size delivered by the streaming engine: how many reports
+    /// the shuffler gathers before shuffling, thresholding and releasing one
+    /// batch to the central model.
+    pub shuffler_batch_size: usize,
     /// How encoded codes are represented when training the central model.
     pub code_representation: CodeRepresentation,
     /// Constant Ω of the δ bound (Gehrke et al. 2012); only affects reporting
@@ -101,6 +110,8 @@ impl P2bConfig {
             participation: 0.5,
             local_interactions: 10,
             shuffler_threshold: 10,
+            shuffler_shards: 1,
+            shuffler_batch_size: 128,
             code_representation: CodeRepresentation::Centroid,
             delta_omega: 0.1,
         }
@@ -124,6 +135,20 @@ impl P2bConfig {
     #[must_use]
     pub fn with_shuffler_threshold(mut self, threshold: usize) -> Self {
         self.shuffler_threshold = threshold;
+        self
+    }
+
+    /// Sets the number of shuffler shards used by the streaming engine.
+    #[must_use]
+    pub fn with_shuffler_shards(mut self, shards: usize) -> Self {
+        self.shuffler_shards = shards;
+        self
+    }
+
+    /// Sets the merged batch size of the streaming engine.
+    #[must_use]
+    pub fn with_shuffler_batch_size(mut self, batch_size: usize) -> Self {
+        self.shuffler_batch_size = batch_size;
         self
     }
 
@@ -176,6 +201,18 @@ impl P2bConfig {
         if self.shuffler_threshold == 0 {
             return Err(CoreError::InvalidConfig {
                 parameter: "shuffler_threshold",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.shuffler_shards == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "shuffler_shards",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.shuffler_batch_size == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "shuffler_batch_size",
                 message: "must be at least 1".to_owned(),
             });
         }
@@ -243,6 +280,9 @@ mod tests {
         assert_eq!(cfg.participation, 0.5);
         assert_eq!(cfg.local_interactions, 10);
         assert_eq!(cfg.shuffler_threshold, 10);
+        // Scaling knobs default to the canonical single-lane deployment.
+        assert_eq!(cfg.shuffler_shards, 1);
+        assert_eq!(cfg.shuffler_batch_size, 128);
         assert_eq!(cfg.code_representation, CodeRepresentation::Centroid);
         assert!(cfg.validate().is_ok());
     }
@@ -268,6 +308,19 @@ mod tests {
             .with_shuffler_threshold(0)
             .validate()
             .is_err());
+        assert!(P2bConfig::new(5, 5)
+            .with_shuffler_shards(0)
+            .validate()
+            .is_err());
+        assert!(P2bConfig::new(5, 5)
+            .with_shuffler_batch_size(0)
+            .validate()
+            .is_err());
+        assert!(P2bConfig::new(5, 5)
+            .with_shuffler_shards(8)
+            .with_shuffler_batch_size(256)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //! [`P2bSystem::privacy_guarantee`] from the participation probability and
 //! the shuffler threshold, following Section 4 of the paper.
 //!
+//! Two ingestion paths feed the central model:
+//!
+//! * [`P2bSystem::flush_round`] — synchronous, single-threaded: the path
+//!   the simulation harness and the golden determinism tests use.
+//! * [`P2bSystem::spawn_engine`] — the sharded streaming engine
+//!   ([`p2b_shuffler::ShufflerEngine`]) with per-batch (ε, δ) amplification
+//!   accounting; configured by [`P2bConfig::shuffler_shards`] and
+//!   [`P2bConfig::shuffler_batch_size`]. This is the serving-scale path.
+//!
 //! # Example
 //!
 //! ```
@@ -47,7 +56,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod agent;
 mod config;

@@ -2,8 +2,13 @@
 
 use crate::{CentralServer, CoreError, LocalAgent, P2bConfig};
 use p2b_encoding::Encoder;
-use p2b_privacy::{amplified_delta, amplified_epsilon, CrowdBlending, PrivacyGuarantee};
-use p2b_shuffler::{RawReport, ShuffledBatch, Shuffler, ShufflerConfig};
+use p2b_privacy::{
+    amplified_delta, amplified_epsilon, AmplificationLedger, CrowdBlending, PrivacyGuarantee,
+};
+use p2b_shuffler::{
+    EngineBatch, EngineHandle, RawReport, ShuffledBatch, Shuffler, ShufflerConfig, ShufflerEngine,
+    ShufflerStats,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -19,6 +24,19 @@ pub struct RoundStats {
     pub dropped: usize,
     /// Reports accepted by the server into the central model.
     pub accepted: u64,
+}
+
+impl RoundStats {
+    /// Assembles round statistics from one shuffled batch's stats plus the
+    /// number of reports the server accepted from it.
+    fn from_batch(stats: ShufflerStats, accepted: u64) -> Self {
+        Self {
+            received: stats.received,
+            released: stats.released,
+            dropped: stats.dropped,
+            accepted,
+        }
+    }
 }
 
 /// The complete P2B system: configuration, fitted encoder, trusted shuffler
@@ -133,12 +151,7 @@ impl P2bSystem {
             .shuffler
             .process(std::mem::take(&mut self.pending), rng);
         let accepted = self.server.ingest_batch(&batch)?;
-        Ok(RoundStats {
-            received: batch.stats().received,
-            released: batch.stats().released,
-            dropped: batch.stats().dropped,
-            accepted,
-        })
+        Ok(RoundStats::from_batch(batch.stats(), accepted))
     }
 
     /// Runs one shuffling round and also returns the released batch, for
@@ -156,13 +169,79 @@ impl P2bSystem {
             .shuffler
             .process(std::mem::take(&mut self.pending), rng);
         let accepted = self.server.ingest_batch(&batch)?;
-        let stats = RoundStats {
-            received: batch.stats().received,
-            released: batch.stats().released,
-            dropped: batch.stats().dropped,
-            accepted,
-        };
-        Ok((stats, batch))
+        Ok((RoundStats::from_batch(batch.stats(), accepted), batch))
+    }
+
+    /// Spawns the sharded streaming shuffler engine configured by
+    /// [`P2bConfig::shuffler_shards`] / [`P2bConfig::shuffler_batch_size`],
+    /// with per-batch (ε, δ) amplification accounting wired to this system's
+    /// participation probability and δ constant Ω.
+    ///
+    /// This is the serving-scale ingestion path: reports submitted to the
+    /// returned handle (from any number of threads) are anonymized, sharded,
+    /// shuffled, thresholded and delivered as [`EngineBatch`]es, which
+    /// [`P2bSystem::ingest_engine_batch`] folds into the central model. The
+    /// synchronous [`P2bSystem::flush_round`] path stays available for
+    /// single-threaded simulation and is untouched by the shard knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shuffler`] when the engine configuration is
+    /// invalid and [`CoreError::Privacy`] for an invalid participation
+    /// probability.
+    pub fn spawn_engine(&self, seed: u64) -> Result<EngineHandle, CoreError> {
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(self.config.shuffler_threshold))
+            .shards(self.config.shuffler_shards)
+            .batch_size(self.config.shuffler_batch_size)
+            .privacy_accounting(self.config.participation()?, self.config.delta_omega)
+            .build()?;
+        Ok(engine.spawn(seed))
+    }
+
+    /// Folds one engine-delivered batch into the central model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side model errors.
+    pub fn ingest_engine_batch(&mut self, batch: &EngineBatch) -> Result<RoundStats, CoreError> {
+        let accepted = self.server.ingest_batch(&batch.batch)?;
+        Ok(RoundStats::from_batch(batch.batch.stats(), accepted))
+    }
+
+    /// Runs one complete streaming round: spawns the engine, submits every
+    /// report, flushes, and folds each delivered batch into the central
+    /// model. Returns per-batch round statistics and the amplification
+    /// ledger.
+    ///
+    /// This is the single-producer convenience wrapper; serving deployments
+    /// and the throughput benchmarks drive [`P2bSystem::spawn_engine`]
+    /// directly from many producer threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine-configuration errors and propagates server-side model
+    /// errors.
+    pub fn streaming_round<I>(
+        &mut self,
+        reports: I,
+        seed: u64,
+    ) -> Result<(Vec<RoundStats>, AmplificationLedger), CoreError>
+    where
+        I: IntoIterator<Item = RawReport>,
+    {
+        let handle = self.spawn_engine(seed)?;
+        for report in reports {
+            handle.submit(report)?;
+        }
+        let output = handle.finish();
+        let mut stats = Vec::with_capacity(output.batches.len());
+        for batch in &output.batches {
+            stats.push(self.ingest_engine_batch(batch)?);
+        }
+        let ledger = output
+            .ledger
+            .expect("spawn_engine always enables accounting");
+        Ok((stats, ledger))
     }
 
     /// The crowd-blending parameterization enforced by the shuffler threshold.
@@ -348,5 +427,86 @@ mod tests {
         let mut system = system(3);
         let stats = system.flush_round(&mut rng).unwrap();
         assert_eq!(stats, RoundStats::default());
+    }
+
+    /// Gathers reports from a population of agents without flushing them,
+    /// so the engine tests can replay the same stream.
+    fn gather_reports(system: &mut P2bSystem, rng: &mut StdRng, agents: usize) -> Vec<RawReport> {
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1])
+            .normalized_l1()
+            .unwrap();
+        let mut reports = Vec::new();
+        for _ in 0..agents {
+            let mut agent = system.make_agent(rng).unwrap();
+            for _ in 0..4 {
+                let action = agent.select_action(&ctx, rng).unwrap();
+                let reward = if action.index() == 0 { 1.0 } else { 0.0 };
+                agent.observe_reward(&ctx, action, reward, rng).unwrap();
+            }
+            reports.extend(agent.take_reports());
+        }
+        reports
+    }
+
+    #[test]
+    fn streaming_round_feeds_the_central_model_like_flush_round() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = P2bConfig::new(4, 3)
+            .with_local_interactions(1)
+            .with_shuffler_threshold(2)
+            .with_shuffler_batch_size(16);
+        let mut system = P2bSystem::new(config, encoder(0)).unwrap();
+        let reports = gather_reports(&mut system, &mut rng, 40);
+        let submitted = reports.len();
+        assert!(submitted > 0);
+
+        let (stats, ledger) = system.streaming_round(reports, 99).unwrap();
+        let received: usize = stats.iter().map(|s| s.received).sum();
+        let accepted: u64 = stats.iter().map(|s| s.accepted).sum();
+        assert_eq!(received, submitted, "no report may be lost in the engine");
+        for s in &stats {
+            assert_eq!(s.received, s.released + s.dropped);
+        }
+        assert_eq!(system.server().ingested_reports(), accepted);
+        assert!(system.server().model().observations() > 0);
+        // Every batch was recorded in the ledger with the headline ε.
+        assert_eq!(ledger.records().len(), stats.len());
+        assert!((ledger.per_report_epsilon() - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_shard_engine_round_trip_conserves_reports() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = P2bConfig::new(4, 3)
+            .with_local_interactions(1)
+            .with_shuffler_threshold(1)
+            .with_shuffler_shards(4)
+            .with_shuffler_batch_size(8);
+        let mut system = P2bSystem::new(config, encoder(0)).unwrap();
+        let reports = gather_reports(&mut system, &mut rng, 30);
+        let submitted = reports.len();
+
+        let handle = system.spawn_engine(3).unwrap();
+        for report in reports {
+            handle.submit(report).unwrap();
+        }
+        let output = handle.finish();
+        let mut accepted = 0;
+        for batch in &output.batches {
+            accepted += system.ingest_engine_batch(batch).unwrap().accepted;
+        }
+        // Threshold 1: every submitted report survives and is accepted.
+        assert_eq!(accepted, submitted as u64);
+        assert_eq!(system.server().ingested_reports(), accepted);
+        let ledger = output.ledger.unwrap();
+        assert_eq!(ledger.total_released(), submitted);
+        assert!(ledger.weakest().is_some());
+    }
+
+    #[test]
+    fn spawn_engine_respects_config_validation() {
+        let mut config = P2bConfig::new(4, 3).with_local_interactions(1);
+        config.shuffler_batch_size = 0;
+        assert!(P2bSystem::new(config, encoder(0)).is_err());
     }
 }

@@ -14,9 +14,11 @@
 //!    ([`amplified_epsilon`], [`amplified_delta`]).
 //!
 //! The crate also provides a [`PrivacyAccountant`] implementing sequential
-//! composition (an agent reporting `r` tuples spends `r·ε`), and a
-//! [`RandomizedResponse`] local-DP baseline so P2B's trust model can be
-//! compared against RAPPOR-style randomization.
+//! composition (an agent reporting `r` tuples spends `r·ε`), an
+//! [`AmplificationLedger`] that records the `(ε, δ)` pair achieved by every
+//! batch a batched shuffler releases, and a [`RandomizedResponse`] local-DP
+//! baseline so P2B's trust model can be compared against RAPPOR-style
+//! randomization.
 //!
 //! # Example
 //!
@@ -32,10 +34,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod accountant;
 mod amplification;
+mod batch;
 mod crowd_blending;
 mod definitions;
 mod error;
@@ -45,6 +48,7 @@ pub use accountant::{PrivacyAccountant, PrivacySpend};
 pub use amplification::{
     amplified_delta, amplified_epsilon, epsilon_sweep, participation_for_epsilon, EpsilonPoint,
 };
+pub use batch::{AmplificationLedger, BatchAmplification};
 pub use crowd_blending::CrowdBlending;
 pub use definitions::{Participation, PrivacyGuarantee};
 pub use error::PrivacyError;

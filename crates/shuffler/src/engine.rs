@@ -1,0 +1,797 @@
+//! The sharded, batched shuffler engine.
+//!
+//! [`ShufflerPipeline`](crate::ShufflerPipeline) processes one report at a
+//! time on a single worker thread, which caps throughput well below a
+//! serving-scale deployment. The [`ShufflerEngine`] replaces that single
+//! lane with a two-stage design:
+//!
+//! ```text
+//!  producers ──submit──▶ shard 0 ─┐
+//!  (any thread)          shard 1 ─┼─▶ fan-in merger ──▶ EngineBatch stream
+//!            ⋮               ⋮    │   (cross-shard shuffle,
+//!                        shard N ─┘    threshold, (ε, δ) ledger)
+//! ```
+//!
+//! * **Sharding** — [`EngineHandle::submit`] routes each report to a shard
+//!   by hashing its *anonymous batch slot* (a per-engine arrival counter).
+//!   The key is never derived from the sender: shard assignment therefore
+//!   carries zero information about the user, unlike a user-id hash which
+//!   would pin every user to one shard and leak membership through shard
+//!   load.
+//! * **Batching** — each shard accumulates a chunk (configurable size),
+//!   anonymizes + shuffles it, and forwards it to the merger; the merger
+//!   re-batches the fan-in stream into merged batches of exactly
+//!   [`EngineBuilder::batch_size`] (the final flush may be smaller).
+//! * **Backpressure** — shard ingress queues are bounded; `submit` blocks
+//!   while the target shard's queue is full, so a slow engine slows its
+//!   producers instead of buffering without limit.
+//! * **Flush interval** — optionally, a shard or the merger flushes a
+//!   partial batch once its oldest buffered report has waited the
+//!   configured interval, bounding the delivery latency of a trickling
+//!   report stream (the deadline is anchored to the oldest report, so a
+//!   steady trickle cannot postpone the flush).
+//! * **Privacy bookkeeping** — with [`EngineBuilder::privacy_accounting`]
+//!   enabled, the merger records every delivered batch in an
+//!   [`AmplificationLedger`], attaching the per-batch (ε, δ) amplification
+//!   record to the [`EngineBatch`].
+//!
+//! With `shards = 1`, a single producer and no flush interval configured,
+//! the engine is fully deterministic for a fixed seed: batch boundaries are
+//! count-triggered and every RNG is seeded from the spawn seed. (A flush
+//! interval makes batch boundaries wall-clock-dependent and therefore
+//! non-reproducible.)
+
+use crate::shard::{ShardWorker, SubBatch};
+use crate::shuffle::shuffle_and_threshold;
+use crate::{EncodedReport, RawReport, ShuffledBatch, Shuffler, ShufflerConfig, ShufflerError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use p2b_privacy::{AmplificationLedger, BatchAmplification, Participation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// SplitMix64: cheap, well-mixed hash used for slot→shard routing and for
+/// deriving per-shard RNG seeds from the engine seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Builder for a [`ShufflerEngine`].
+///
+/// Obtained from [`ShufflerEngine::builder`]; every knob has a sensible
+/// default, so the minimal spell is `builder(config).batch_size(n).build()`.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: ShufflerConfig,
+    shards: usize,
+    batch_size: usize,
+    shard_batch_size: Option<usize>,
+    shard_queue_capacity: usize,
+    flush_interval: Option<Duration>,
+    accounting: Option<(Participation, f64)>,
+}
+
+impl EngineBuilder {
+    fn new(config: ShufflerConfig) -> Self {
+        Self {
+            config,
+            shards: 1,
+            batch_size: 64,
+            shard_batch_size: None,
+            shard_queue_capacity: 1024,
+            flush_interval: None,
+            accounting: None,
+        }
+    }
+
+    /// Number of shard workers (default 1). Each shard owns one thread and
+    /// one bounded ingress queue.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Size of the merged batches delivered downstream (default 64). Every
+    /// batch except the final flush contains exactly this many received
+    /// reports.
+    #[must_use]
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Per-shard accumulation chunk size before a sub-batch is forwarded to
+    /// the merger. Defaults to `batch_size / shards` (rounded up), so the
+    /// shards collectively fill one merged batch per chunk round.
+    #[must_use]
+    pub fn shard_batch_size(mut self, shard_batch_size: usize) -> Self {
+        self.shard_batch_size = Some(shard_batch_size);
+        self
+    }
+
+    /// Capacity of each shard's bounded ingress queue (default 1024).
+    /// [`EngineHandle::submit`] blocks while the target shard's queue holds
+    /// this many un-consumed reports — the engine's backpressure contract.
+    #[must_use]
+    pub fn shard_queue_capacity(mut self, capacity: usize) -> Self {
+        self.shard_queue_capacity = capacity;
+        self
+    }
+
+    /// Maximum time a buffered report may wait before its shard (or the
+    /// merger) flushes the partial batch holding it (default: no interval —
+    /// batches are only ever count-triggered, which keeps single-shard runs
+    /// deterministic). The deadline anchors to the oldest buffered report,
+    /// so it holds even under a steady trickle of arrivals.
+    #[must_use]
+    pub fn flush_interval(mut self, interval: Duration) -> Self {
+        self.flush_interval = Some(interval);
+        self
+    }
+
+    /// Enables per-batch (ε, δ) amplification bookkeeping: the merger
+    /// records every delivered batch in an [`AmplificationLedger`] under the
+    /// given participation probability and δ-bound constant Ω, and attaches
+    /// the record to each [`EngineBatch`].
+    #[must_use]
+    pub fn privacy_accounting(mut self, participation: Participation, omega: f64) -> Self {
+        self.accounting = Some((participation, omega));
+        self
+    }
+
+    /// Validates the configuration and produces the engine description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShufflerError::InvalidConfig`] when the shuffler threshold
+    /// is zero, any size/capacity knob is zero, the flush interval is zero,
+    /// or the privacy-accounting Ω is not a finite positive number.
+    pub fn build(self) -> Result<ShufflerEngine, ShufflerError> {
+        // Validate the threshold eagerly, exactly like the pipeline does.
+        let _ = Shuffler::new(self.config)?;
+        if self.shards == 0 {
+            return Err(ShufflerError::InvalidConfig {
+                parameter: "shards",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(ShufflerError::InvalidConfig {
+                parameter: "batch_size",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.shard_batch_size == Some(0) {
+            return Err(ShufflerError::InvalidConfig {
+                parameter: "shard_batch_size",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.shard_queue_capacity == 0 {
+            return Err(ShufflerError::InvalidConfig {
+                parameter: "shard_queue_capacity",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.flush_interval == Some(Duration::ZERO) {
+            return Err(ShufflerError::InvalidConfig {
+                parameter: "flush_interval",
+                message: "must be a positive duration".to_owned(),
+            });
+        }
+        let ledger = match self.accounting {
+            Some((participation, omega)) => {
+                Some(AmplificationLedger::new(participation, omega).map_err(|e| {
+                    ShufflerError::InvalidConfig {
+                        parameter: "privacy_accounting",
+                        message: e.to_string(),
+                    }
+                })?)
+            }
+            None => None,
+        };
+        let shard_batch_size = self
+            .shard_batch_size
+            .unwrap_or_else(|| self.batch_size.div_ceil(self.shards));
+        Ok(ShufflerEngine {
+            config: self.config,
+            shards: self.shards,
+            batch_size: self.batch_size,
+            shard_batch_size,
+            shard_queue_capacity: self.shard_queue_capacity,
+            flush_interval: self.flush_interval,
+            ledger,
+        })
+    }
+}
+
+/// One merged batch delivered by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBatch {
+    /// Zero-based delivery index of the batch.
+    pub index: u64,
+    /// The anonymized, cross-shard-shuffled, threshold-filtered batch.
+    pub batch: ShuffledBatch,
+    /// Per-batch (ε, δ) amplification record, present when
+    /// [`EngineBuilder::privacy_accounting`] was enabled.
+    pub amplification: Option<BatchAmplification>,
+}
+
+/// Everything a finished engine run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutput {
+    /// The delivered batches not yet consumed via
+    /// [`EngineHandle::drain_ready`], in delivery order. Check
+    /// [`EngineBatch::index`] when interleaving with drained batches.
+    pub batches: Vec<EngineBatch>,
+    /// The amplification ledger accumulated by the merger, when accounting
+    /// was enabled.
+    pub ledger: Option<AmplificationLedger>,
+}
+
+/// A sharded, batched, multi-threaded shuffler.
+///
+/// See the [module documentation](self) for the stage diagram and the
+/// design rationale. The engine value itself is a passive description (like
+/// [`ShufflerPipeline`](crate::ShufflerPipeline)); [`ShufflerEngine::spawn`]
+/// starts the shard workers and the merger and returns a handle.
+///
+/// # Examples
+///
+/// ```
+/// use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerEngine};
+///
+/// # fn main() -> Result<(), p2b_shuffler::ShufflerError> {
+/// let engine = ShufflerEngine::builder(ShufflerConfig::new(1))
+///     .shards(2)
+///     .batch_size(8)
+///     .build()?;
+/// let handle = engine.spawn(42);
+/// for i in 0..16 {
+///     let report = EncodedReport::new(i % 2, 0, 1.0)?;
+///     handle.submit(RawReport::new(format!("agent-{i}"), report))?;
+/// }
+/// let output = handle.finish();
+/// // 16 reports at batch size 8: two full merged batches, nothing lost.
+/// assert_eq!(output.batches.len(), 2);
+/// let delivered: usize = output.batches.iter().map(|b| b.batch.reports().len()).sum();
+/// assert_eq!(delivered, 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShufflerEngine {
+    config: ShufflerConfig,
+    shards: usize,
+    batch_size: usize,
+    shard_batch_size: usize,
+    shard_queue_capacity: usize,
+    flush_interval: Option<Duration>,
+    ledger: Option<AmplificationLedger>,
+}
+
+impl ShufflerEngine {
+    /// Starts building an engine around a shuffler configuration.
+    #[must_use]
+    pub fn builder(config: ShufflerConfig) -> EngineBuilder {
+        EngineBuilder::new(config)
+    }
+
+    /// The number of shard workers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The merged batch size delivered downstream.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Starts the shard workers and the fan-in merger. All randomness
+    /// (within-shard shuffles, cross-shard shuffle) derives from `seed`, so
+    /// a single-shard, single-producer run with no flush interval is
+    /// reproducible bit for bit (a flush interval makes batch boundaries
+    /// wall-clock-dependent).
+    #[must_use]
+    pub fn spawn(&self, seed: u64) -> EngineHandle {
+        let (fan_tx, fan_rx) = unbounded::<SubBatch>();
+        let (batch_tx, batch_rx) = unbounded::<EngineBatch>();
+
+        let mut shard_txs = Vec::with_capacity(self.shards);
+        let mut shard_workers = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (tx, rx) = bounded::<RawReport>(self.shard_queue_capacity);
+            shard_txs.push(tx);
+            let worker = ShardWorker::new(
+                shard,
+                rx,
+                fan_tx.clone(),
+                self.shard_batch_size,
+                self.flush_interval,
+                splitmix64(seed ^ splitmix64(shard as u64 + 1)),
+            );
+            shard_workers.push(std::thread::spawn(move || worker.run()));
+        }
+        // Drop the original fan-in sender so the merger disconnects as soon
+        // as the last shard worker exits.
+        drop(fan_tx);
+
+        let threshold = self.config.threshold;
+        let batch_size = self.batch_size;
+        let flush_interval = self.flush_interval;
+        let ledger = self.ledger.clone();
+        // A fixed tag keeps the merger's RNG stream distinct from every
+        // shard's (shard seeds mix small integers, not this constant).
+        let merger_seed = splitmix64(seed ^ 0x5EED_BA7C_4E61_4E00);
+        let merger = std::thread::spawn(move || {
+            run_merger(
+                &fan_rx,
+                &batch_tx,
+                threshold,
+                batch_size,
+                flush_interval,
+                StdRng::seed_from_u64(merger_seed),
+                ledger,
+            )
+        });
+
+        EngineHandle {
+            shard_txs: Some(shard_txs),
+            slot: AtomicU64::new(0),
+            batch_rx,
+            shard_workers,
+            merger: Some(merger),
+        }
+    }
+}
+
+/// The fan-in merge stage: accumulates shard sub-batches, re-batches them
+/// into merged batches of exactly `batch_size`, shuffles across shards,
+/// applies the crowd-blending threshold, and records amplification.
+fn run_merger(
+    fan_rx: &Receiver<SubBatch>,
+    batch_tx: &Sender<EngineBatch>,
+    threshold: usize,
+    batch_size: usize,
+    flush_interval: Option<Duration>,
+    mut rng: StdRng,
+    mut ledger: Option<AmplificationLedger>,
+) -> Option<AmplificationLedger> {
+    let mut pending: Vec<EncodedReport> = Vec::with_capacity(batch_size);
+    let mut next_index = 0u64;
+    // Deadline anchored to the oldest pending report, so a steady trickle of
+    // sub-batches cannot postpone a flush indefinitely.
+    let mut deadline: Option<Instant> = None;
+    loop {
+        let sub = match deadline {
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    let chunk = std::mem::take(&mut pending);
+                    deadline = None;
+                    if !emit(
+                        chunk,
+                        batch_tx,
+                        threshold,
+                        &mut rng,
+                        &mut ledger,
+                        &mut next_index,
+                    ) {
+                        return ledger;
+                    }
+                    continue;
+                }
+                match fan_rx.recv_timeout(d - now) {
+                    Ok(sub) => Some(sub),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => None,
+                }
+            }
+            None => fan_rx.recv().ok(),
+        };
+        match sub {
+            Some(sub) => {
+                if pending.is_empty() {
+                    deadline = flush_interval.map(|interval| Instant::now() + interval);
+                }
+                pending.extend(sub.reports);
+                while pending.len() >= batch_size {
+                    let chunk: Vec<EncodedReport> = pending.drain(..batch_size).collect();
+                    // The remainder (if any) arrived just now; restart its
+                    // staleness clock.
+                    deadline = if pending.is_empty() {
+                        None
+                    } else {
+                        flush_interval.map(|interval| Instant::now() + interval)
+                    };
+                    if !emit(
+                        chunk,
+                        batch_tx,
+                        threshold,
+                        &mut rng,
+                        &mut ledger,
+                        &mut next_index,
+                    ) {
+                        return ledger;
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    if !pending.is_empty() {
+        emit(
+            pending,
+            batch_tx,
+            threshold,
+            &mut rng,
+            &mut ledger,
+            &mut next_index,
+        );
+    }
+    ledger
+}
+
+/// Processes one merged chunk and sends it downstream. Returns `false` when
+/// the downstream receiver is gone and the merger should stop.
+fn emit(
+    chunk: Vec<EncodedReport>,
+    batch_tx: &Sender<EngineBatch>,
+    threshold: usize,
+    rng: &mut StdRng,
+    ledger: &mut Option<AmplificationLedger>,
+    next_index: &mut u64,
+) -> bool {
+    // Cross-shard shuffle + crowd-blending threshold over the *merged* batch
+    // (codes split across shards must be counted globally), via the same
+    // core the synchronous shuffler uses. The shards already anonymized.
+    let batch = shuffle_and_threshold(threshold, chunk, rng);
+    let stats = batch.stats();
+    let amplification = ledger.as_mut().map(|ledger| {
+        ledger
+            .record_batch(stats.released, stats.min_released_frequency as u64)
+            .expect("released > 0 implies crowd >= threshold >= 1")
+    });
+    let batch = EngineBatch {
+        index: *next_index,
+        batch,
+        amplification,
+    };
+    *next_index += 1;
+    batch_tx.send(batch).is_ok()
+}
+
+/// Handle to a running [`ShufflerEngine`].
+///
+/// `submit` may be called from any number of threads sharing the handle by
+/// reference. Dropping the handle (or calling [`EngineHandle::finish`])
+/// closes the ingress, flushes every stage and joins the worker threads.
+#[derive(Debug)]
+pub struct EngineHandle {
+    shard_txs: Option<Vec<Sender<RawReport>>>,
+    slot: AtomicU64,
+    batch_rx: Receiver<EngineBatch>,
+    shard_workers: Vec<JoinHandle<()>>,
+    merger: Option<JoinHandle<Option<AmplificationLedger>>>,
+}
+
+impl EngineHandle {
+    /// Submits one raw report.
+    ///
+    /// The report is routed to a shard by hashing its anonymous batch slot
+    /// (the engine-wide arrival counter) — never anything derived from the
+    /// sender, so shard assignment reveals nothing about the user. Blocks
+    /// while the target shard's bounded queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShufflerError::PipelineClosed`] after [`Self::finish`] or
+    /// if the engine's workers have shut down.
+    pub fn submit(&self, report: RawReport) -> Result<(), ShufflerError> {
+        let txs = self
+            .shard_txs
+            .as_ref()
+            .ok_or(ShufflerError::PipelineClosed)?;
+        let slot = self.slot.fetch_add(1, Ordering::Relaxed);
+        let shard = (splitmix64(slot) % txs.len() as u64) as usize;
+        txs[shard]
+            .send(report)
+            .map_err(|_| ShufflerError::PipelineClosed)
+    }
+
+    /// Number of reports submitted through this handle so far.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.slot.load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking drain of the merged batches delivered so far.
+    #[must_use]
+    pub fn drain_ready(&self) -> Vec<EngineBatch> {
+        self.batch_rx.try_iter().collect()
+    }
+
+    /// Closes the ingress, waits for every stage to flush, and returns the
+    /// remaining (undrained) batches together with the amplification ledger.
+    #[must_use]
+    pub fn finish(mut self) -> EngineOutput {
+        let ledger = self.close();
+        let batches = self.batch_rx.try_iter().collect();
+        EngineOutput { batches, ledger }
+    }
+
+    fn close(&mut self) -> Option<AmplificationLedger> {
+        // Dropping the shard senders closes every ingress queue; each shard
+        // flushes its partial chunk and drops its fan-in sender; the merger
+        // then flushes its partial merged batch and returns the ledger.
+        self.shard_txs = None;
+        for worker in self.shard_workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.merger
+            .take()
+            .and_then(|merger| merger.join().ok())
+            .flatten()
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(code: usize) -> RawReport {
+        RawReport::new("agent", EncodedReport::new(code, 0, 1.0).unwrap())
+    }
+
+    fn engine(threshold: usize, shards: usize, batch_size: usize) -> ShufflerEngine {
+        ShufflerEngine::builder(ShufflerConfig::new(threshold))
+            .shards(shards)
+            .batch_size(batch_size)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_every_knob() {
+        let ok = ShufflerConfig::new(1);
+        assert!(ShufflerEngine::builder(ShufflerConfig::new(0))
+            .build()
+            .is_err());
+        assert!(ShufflerEngine::builder(ok).shards(0).build().is_err());
+        assert!(ShufflerEngine::builder(ok).batch_size(0).build().is_err());
+        assert!(ShufflerEngine::builder(ok)
+            .shard_batch_size(0)
+            .build()
+            .is_err());
+        assert!(ShufflerEngine::builder(ok)
+            .shard_queue_capacity(0)
+            .build()
+            .is_err());
+        assert!(ShufflerEngine::builder(ok)
+            .flush_interval(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(ShufflerEngine::builder(ok)
+            .privacy_accounting(Participation::new(0.5).unwrap(), 0.0)
+            .build()
+            .is_err());
+        assert!(ShufflerEngine::builder(ok).build().is_ok());
+    }
+
+    #[test]
+    fn default_shard_batch_size_splits_the_merged_batch() {
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(1))
+            .shards(4)
+            .batch_size(10)
+            .build()
+            .unwrap();
+        assert_eq!(engine.shard_batch_size, 3); // ceil(10 / 4)
+        assert_eq!(engine.shards(), 4);
+        assert_eq!(engine.batch_size(), 10);
+    }
+
+    #[test]
+    fn merged_batches_have_exact_sizes_and_conserve_reports() {
+        for shards in [1usize, 2, 4] {
+            let handle = engine(1, shards, 10).spawn(3);
+            for i in 0..37 {
+                handle.submit(raw(i % 5)).unwrap();
+            }
+            assert_eq!(handle.submitted(), 37);
+            let output = handle.finish();
+            let sizes: Vec<usize> = output
+                .batches
+                .iter()
+                .map(|b| b.batch.stats().received)
+                .collect();
+            assert_eq!(sizes, vec![10, 10, 10, 7], "shards={shards}");
+            let total: usize = output.batches.iter().map(|b| b.batch.reports().len()).sum();
+            assert_eq!(total, 37, "threshold 1 releases everything");
+            // Delivery indices are consecutive.
+            let indices: Vec<u64> = output.batches.iter().map(|b| b.index).collect();
+            assert_eq!(indices, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn thresholding_applies_to_the_merged_batch_not_per_shard() {
+        // 4 shards, 8 copies of one code: any per-shard threshold of 8 would
+        // suppress everything (each shard sees ~2), but the merged batch
+        // clears it.
+        let handle = engine(8, 4, 8).spawn(11);
+        for _ in 0..8 {
+            handle.submit(raw(42)).unwrap();
+        }
+        let output = handle.finish();
+        assert_eq!(output.batches.len(), 1);
+        assert_eq!(output.batches[0].batch.reports().len(), 8);
+        assert!(output.batches[0]
+            .batch
+            .reports()
+            .iter()
+            .all(|r| r.code() == 42));
+    }
+
+    #[test]
+    fn single_shard_runs_are_deterministic() {
+        let run = || {
+            let handle = engine(2, 1, 16).spawn(1234);
+            for i in 0..50 {
+                handle.submit(raw(i % 7)).unwrap();
+            }
+            handle.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn amplification_records_accompany_batches() {
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(2))
+            .shards(2)
+            .batch_size(12)
+            .privacy_accounting(Participation::new(0.5).unwrap(), 0.1)
+            .build()
+            .unwrap();
+        let handle = engine.spawn(5);
+        // Codes 0 and 1 six times each: both clear threshold 2, crowd = 6.
+        for i in 0..12 {
+            handle.submit(raw(i % 2)).unwrap();
+        }
+        let output = handle.finish();
+        assert_eq!(output.batches.len(), 1);
+        let record = output.batches[0].amplification.expect("accounting enabled");
+        assert_eq!(record.crowd_size, 6);
+        assert_eq!(record.released, 12);
+        assert!((record.guarantee.epsilon() - std::f64::consts::LN_2).abs() < 1e-12);
+        let ledger = output.ledger.expect("accounting enabled");
+        assert_eq!(ledger.records(), &[record]);
+        assert_eq!(ledger.total_released(), 12);
+    }
+
+    #[test]
+    fn empty_run_produces_no_batches() {
+        let output = engine(1, 4, 8).spawn(0).finish();
+        assert!(output.batches.is_empty());
+    }
+
+    #[test]
+    fn submit_after_finish_is_rejected_via_fresh_handle_semantics() {
+        let engine = engine(1, 2, 4);
+        let first = engine.spawn(1);
+        first.submit(raw(0)).unwrap();
+        let _ = first.finish();
+        // The engine description is reusable; each spawned handle is
+        // independent.
+        let second = engine.spawn(2);
+        second.submit(raw(1)).unwrap();
+        let output = second.finish();
+        assert_eq!(output.batches.len(), 1);
+    }
+
+    #[test]
+    fn flush_interval_delivers_partial_batches_while_open() {
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(1))
+            .shards(2)
+            .batch_size(1_000)
+            .flush_interval(Duration::from_millis(2))
+            .build()
+            .unwrap();
+        let handle = engine.spawn(9);
+        for i in 0..5 {
+            handle.submit(raw(i)).unwrap();
+        }
+        // Far below batch_size: only the flush interval can deliver these.
+        let mut drained = Vec::new();
+        for _ in 0..500 {
+            drained.extend(handle.drain_ready());
+            if drained
+                .iter()
+                .map(|b| b.batch.reports().len())
+                .sum::<usize>()
+                == 5
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let total: usize = drained.iter().map(|b| b.batch.reports().len()).sum();
+        assert_eq!(total, 5, "flush interval must deliver partial batches");
+        let rest = handle.finish();
+        assert!(rest.batches.is_empty());
+    }
+
+    #[test]
+    fn flush_deadline_holds_under_a_steady_trickle() {
+        // Reports arrive faster than the flush interval. Because the
+        // deadline anchors to the oldest buffered report (not the last
+        // arrival), batches must still be delivered while the stream is
+        // live — a quiet-period debounce would buffer until batch_size.
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(1))
+            .shards(1)
+            .batch_size(1_000_000)
+            .flush_interval(Duration::from_millis(5))
+            .build()
+            .unwrap();
+        let handle = engine.spawn(13);
+        let mut delivered = 0usize;
+        for i in 0..100 {
+            handle.submit(raw(i % 3)).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+            delivered += handle
+                .drain_ready()
+                .iter()
+                .map(|b| b.batch.stats().received)
+                .sum::<usize>();
+        }
+        assert!(
+            delivered > 0,
+            "deadline must fire while the trickle is still arriving"
+        );
+        let rest = handle.finish();
+        let total: usize = rest
+            .batches
+            .iter()
+            .map(|b| b.batch.stats().received)
+            .sum::<usize>()
+            + delivered;
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn concurrent_producers_do_not_lose_reports() {
+        let handle = engine(1, 4, 32).spawn(77);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let handle_ref = &handle;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        handle_ref.submit(raw((t * 200 + i) % 9)).unwrap();
+                    }
+                });
+            }
+        });
+        let output = handle.finish();
+        let total: usize = output
+            .batches
+            .iter()
+            .map(|b| b.batch.stats().received)
+            .sum();
+        assert_eq!(total, 800);
+    }
+}

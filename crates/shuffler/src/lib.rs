@@ -14,9 +14,21 @@
 //!    than `threshold` times in the batch are removed, enforcing the
 //!    crowd-blending parameter `l`.
 //!
-//! A multi-threaded [`ShufflerPipeline`] built on crossbeam channels is
-//! provided for streaming operation; the synchronous [`Shuffler`] is what the
-//! simulation harness uses.
+//! Three execution shapes share that contract:
+//!
+//! * [`Shuffler`] — synchronous, single batch per call; what the
+//!   single-threaded simulation harness and the golden determinism tests
+//!   use.
+//! * [`ShufflerPipeline`] — one background worker fed through a crossbeam
+//!   channel; the original streaming shape, kept for single-lane
+//!   deployments and as the baseline the throughput benchmarks compare
+//!   against.
+//! * [`ShufflerEngine`] — the sharded, batched engine: reports are
+//!   partitioned across N shard workers (by hashing the anonymous batch
+//!   slot, never the sender), shuffled within and across shards through a
+//!   fan-in merge stage, thresholded per merged batch, and delivered with
+//!   per-batch (ε, δ) amplification records. See [`engine`] for the stage
+//!   diagram. This is the serving-scale path.
 //!
 //! # Example
 //!
@@ -37,13 +49,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod engine;
 mod error;
 mod pipeline;
 mod report;
+mod shard;
 mod shuffle;
 
+pub use engine::{EngineBatch, EngineBuilder, EngineHandle, EngineOutput, ShufflerEngine};
 pub use error::ShufflerError;
 pub use pipeline::{PipelineHandle, ShufflerPipeline};
 pub use report::{EncodedReport, RawReport, ReportMetadata};

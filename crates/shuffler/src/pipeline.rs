@@ -6,15 +6,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::thread::JoinHandle;
 
-/// A streaming shuffler: reports submitted from any thread are gathered into
-/// fixed-size batches by a background worker, which anonymizes, shuffles and
-/// thresholds each batch before handing it downstream.
+/// A single-lane streaming shuffler: reports submitted from any thread are
+/// gathered into fixed-size batches by **one** background worker, which
+/// anonymizes, shuffles and thresholds each batch before handing it
+/// downstream.
 ///
 /// This mirrors the deployment shape of the ESA architecture, where the
 /// shuffler runs asynchronously from both the clients and the analyzer. The
 /// synchronous [`Shuffler`] remains the right tool inside single-threaded
-/// simulations; the pipeline exists so the end-to-end system test and the
-/// throughput benchmark exercise a realistic concurrent path.
+/// simulations. For concurrent serving-scale ingestion, prefer the sharded
+/// [`ShufflerEngine`](crate::ShufflerEngine), which parallelizes this
+/// worker across N shards and adds backpressure and per-batch privacy
+/// accounting; the pipeline is kept as the single-lane baseline that the
+/// `throughput` scaling binary compares against.
 ///
 /// # Example
 ///

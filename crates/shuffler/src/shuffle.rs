@@ -45,6 +45,10 @@ pub struct ShufflerStats {
     pub distinct_codes: usize,
     /// Number of distinct codes that survived thresholding.
     pub released_codes: usize,
+    /// Smallest per-code frequency among the released reports (0 when the
+    /// batch released nothing) — the empirical crowd-blending `l` the batch
+    /// actually achieved, never below the configured threshold.
+    pub min_released_frequency: usize,
 }
 
 /// The output of one shuffling round: anonymous, order-randomized,
@@ -76,13 +80,11 @@ impl ShuffledBatch {
 
     /// Smallest per-code frequency among the released reports; this is the
     /// empirical crowd-blending `l` actually achieved by the batch.
+    /// Equivalent to [`ShufflerStats::min_released_frequency`], which is
+    /// where the value is computed.
     #[must_use]
     pub fn min_released_code_frequency(&self) -> usize {
-        let mut counts: HashMap<usize, usize> = HashMap::new();
-        for report in &self.reports {
-            *counts.entry(report.code()).or_insert(0) += 1;
-        }
-        counts.values().copied().min().unwrap_or(0)
+        self.stats.min_released_frequency
     }
 }
 
@@ -116,42 +118,57 @@ impl Shuffler {
     /// `threshold` times in the batch.
     #[must_use]
     pub fn process<R: Rng + ?Sized>(&self, batch: Vec<RawReport>, rng: &mut R) -> ShuffledBatch {
-        let received = batch.len();
-
         // 1. Anonymization: drop every byte of metadata.
-        let mut anonymous: Vec<EncodedReport> =
+        let anonymous: Vec<EncodedReport> =
             batch.into_iter().map(RawReport::into_anonymous).collect();
+        shuffle_and_threshold(self.config.threshold, anonymous, rng)
+    }
+}
 
-        // 2. Shuffling: uniformly random permutation.
-        anonymous.shuffle(rng);
+/// The shared post-anonymization core of the synchronous [`Shuffler`] and
+/// the sharded engine's merge stage: uniform shuffle followed by the
+/// crowd-blending threshold. The batch's empirical crowd size is available
+/// through [`ShuffledBatch::min_released_code_frequency`].
+pub(crate) fn shuffle_and_threshold<R: Rng + ?Sized>(
+    threshold: usize,
+    mut anonymous: Vec<EncodedReport>,
+    rng: &mut R,
+) -> ShuffledBatch {
+    let received = anonymous.len();
 
-        // 3. Thresholding: count code frequencies, then retain codes that
-        //    clear the crowd-blending threshold.
-        let mut counts: HashMap<usize, usize> = HashMap::new();
-        for report in &anonymous {
-            *counts.entry(report.code()).or_insert(0) += 1;
-        }
-        let distinct_codes = counts.len();
-        let released: Vec<EncodedReport> = anonymous
-            .into_iter()
-            .filter(|r| counts[&r.code()] >= self.config.threshold)
-            .collect();
-        let released_codes = counts
-            .values()
-            .filter(|&&c| c >= self.config.threshold)
-            .count();
+    // 2. Shuffling: uniformly random permutation.
+    anonymous.shuffle(rng);
 
-        let stats = ShufflerStats {
-            received,
-            released: released.len(),
-            dropped: received - released.len(),
-            distinct_codes,
-            released_codes,
-        };
-        ShuffledBatch {
-            reports: released,
-            stats,
-        }
+    // 3. Thresholding: count code frequencies, then retain codes that
+    //    clear the crowd-blending threshold.
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for report in &anonymous {
+        *counts.entry(report.code()).or_insert(0) += 1;
+    }
+    let distinct_codes = counts.len();
+    let released: Vec<EncodedReport> = anonymous
+        .into_iter()
+        .filter(|r| counts[&r.code()] >= threshold)
+        .collect();
+    let released_codes = counts.values().filter(|&&c| c >= threshold).count();
+    let min_released_frequency = counts
+        .values()
+        .filter(|&&c| c >= threshold)
+        .min()
+        .copied()
+        .unwrap_or(0);
+
+    let stats = ShufflerStats {
+        received,
+        released: released.len(),
+        dropped: received - released.len(),
+        distinct_codes,
+        released_codes,
+        min_released_frequency,
+    };
+    ShuffledBatch {
+        reports: released,
+        stats,
     }
 }
 

@@ -1,8 +1,10 @@
-//! Satellite test for the streaming shuffler: many producer threads feed one
-//! pipeline, and the released set must be exactly the threshold-surviving
-//! multiset — no report lost, none duplicated, none leaked below threshold.
+//! Concurrency exactness suite for the streaming shufflers: many producer
+//! threads feed a pipeline or a sharded engine, and the released set must be
+//! exactly the threshold-surviving multiset — no report lost, none
+//! duplicated, none leaked below threshold. The engine tests repeat every
+//! claim for shards ∈ {1, 2, 4}.
 
-use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerPipeline};
+use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerEngine, ShufflerPipeline};
 use std::collections::HashMap;
 
 fn raw(agent: usize, code: usize) -> RawReport {
@@ -127,4 +129,153 @@ fn per_batch_thresholding_still_conserves_received_counts() {
         released,
         batches.iter().map(|b| b.stats().released).sum::<usize>()
     );
+}
+
+/// A report's full identity for multiset comparison: code, action and the
+/// bit pattern of the reward.
+fn identity(report: &EncodedReport) -> (usize, usize, u64) {
+    (report.code(), report.action(), report.reward().to_bits())
+}
+
+#[test]
+fn engine_delivers_the_exact_multiset_for_one_two_and_four_shards() {
+    const PRODUCERS: usize = 8;
+    const REPORTS_PER_PRODUCER: usize = 250;
+    const TOTAL: usize = PRODUCERS * REPORTS_PER_PRODUCER;
+
+    for shards in [1usize, 2, 4] {
+        // Threshold 1: nothing may be suppressed, so the delivered multiset
+        // must equal the submitted multiset exactly — across shard splits,
+        // within-shard shuffles, the fan-in merge and re-batching.
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(1))
+            .shards(shards)
+            .batch_size(64)
+            .build()
+            .expect("valid engine");
+        let handle = engine.spawn(2024);
+
+        let mut submitted: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        for producer in 0..PRODUCERS {
+            for i in 0..REPORTS_PER_PRODUCER {
+                let global = producer * REPORTS_PER_PRODUCER + i;
+                let report =
+                    EncodedReport::new(global % 13, global % 3, f64::from((global % 2) as u8))
+                        .expect("valid report");
+                *submitted.entry(identity(&report)).or_insert(0) += 1;
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for producer in 0..PRODUCERS {
+                let handle_ref = &handle;
+                scope.spawn(move || {
+                    for i in 0..REPORTS_PER_PRODUCER {
+                        let global = producer * REPORTS_PER_PRODUCER + i;
+                        let report = EncodedReport::new(
+                            global % 13,
+                            global % 3,
+                            f64::from((global % 2) as u8),
+                        )
+                        .expect("valid report");
+                        handle_ref
+                            .submit(RawReport::new(format!("agent-{producer}"), report))
+                            .expect("engine accepts submissions while open");
+                    }
+                });
+            }
+        });
+        let output = handle.finish();
+
+        let mut delivered: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        let mut received = 0;
+        for batch in &output.batches {
+            received += batch.batch.stats().received;
+            assert_eq!(batch.batch.stats().dropped, 0, "threshold 1 drops nothing");
+            for report in batch.batch.reports() {
+                *delivered.entry(identity(report)).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(received, TOTAL, "shards={shards}");
+        assert_eq!(
+            delivered, submitted,
+            "delivered multiset must equal submitted multiset at shards={shards}"
+        );
+        // Merged batches have the configured exact size, final flush aside.
+        for batch in &output.batches[..output.batches.len() - 1] {
+            assert_eq!(batch.batch.stats().received, 64, "shards={shards}");
+        }
+    }
+}
+
+#[test]
+fn engine_thresholding_over_one_merged_batch_is_exact_per_shard_count() {
+    const PRODUCERS: usize = 4;
+    const REPORTS_PER_PRODUCER: usize = 150;
+    const TOTAL: usize = PRODUCERS * REPORTS_PER_PRODUCER;
+    const THRESHOLD: usize = 100;
+
+    // Same weighted code mix as the pipeline test: per block of 15, codes
+    // 0..=4 with weights 5:4:3:2:1, so global counts are exactly known.
+    let code_of = |i: usize| -> usize {
+        match i % 15 {
+            0..=4 => 0,
+            5..=8 => 1,
+            9..=11 => 2,
+            12..=13 => 3,
+            _ => 4,
+        }
+    };
+
+    for shards in [1usize, 2, 4] {
+        // One merged batch spanning every submission: thresholding must act
+        // on the *global* multiset even when codes are split across shards
+        // (each shard alone sees far fewer than THRESHOLD copies).
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(THRESHOLD))
+            .shards(shards)
+            .batch_size(TOTAL)
+            .build()
+            .expect("valid engine");
+        let handle = engine.spawn(7);
+        std::thread::scope(|scope| {
+            for producer in 0..PRODUCERS {
+                let handle_ref = &handle;
+                scope.spawn(move || {
+                    for i in 0..REPORTS_PER_PRODUCER {
+                        let report = EncodedReport::new(code_of(i), 0, 1.0).expect("valid");
+                        handle_ref
+                            .submit(RawReport::new(format!("agent-{producer}"), report))
+                            .expect("engine accepts submissions while open");
+                    }
+                });
+            }
+        });
+        let output = handle.finish();
+        assert_eq!(output.batches.len(), 1, "shards={shards}");
+        let batch = &output.batches[0].batch;
+        assert_eq!(batch.stats().received, TOTAL);
+
+        let submitted = frequencies((0..REPORTS_PER_PRODUCER).map(code_of))
+            .into_iter()
+            .map(|(code, count)| (code, count * PRODUCERS))
+            .collect::<HashMap<_, _>>();
+        let released = frequencies(batch.reports().iter().map(|r| r.code()));
+        for (&code, &count) in &submitted {
+            if count >= THRESHOLD {
+                assert_eq!(
+                    released.get(&code),
+                    Some(&count),
+                    "code {code} must survive with exact multiplicity at shards={shards}"
+                );
+            } else {
+                assert!(
+                    !released.contains_key(&code),
+                    "code {code} (count {count}) must be suppressed at shards={shards}"
+                );
+            }
+        }
+        for code in released.keys() {
+            assert!(submitted.contains_key(code), "unknown code {code} released");
+        }
+        assert!(batch.min_released_code_frequency() >= THRESHOLD);
+    }
 }

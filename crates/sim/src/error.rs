@@ -24,6 +24,8 @@ pub enum SimError {
     Dataset(p2b_datasets::DatasetError),
     /// An underlying privacy computation failed.
     Privacy(p2b_privacy::PrivacyError),
+    /// An underlying shuffler (engine) operation failed.
+    Shuffler(p2b_shuffler::ShufflerError),
     /// Writing an experiment result file failed.
     Io(std::io::Error),
 }
@@ -39,6 +41,7 @@ impl fmt::Display for SimError {
             SimError::Encoding(e) => write!(f, "encoding failure: {e}"),
             SimError::Dataset(e) => write!(f, "dataset failure: {e}"),
             SimError::Privacy(e) => write!(f, "privacy failure: {e}"),
+            SimError::Shuffler(e) => write!(f, "shuffler failure: {e}"),
             SimError::Io(e) => write!(f, "i/o failure: {e}"),
         }
     }
@@ -52,6 +55,7 @@ impl Error for SimError {
             SimError::Encoding(e) => Some(e),
             SimError::Dataset(e) => Some(e),
             SimError::Privacy(e) => Some(e),
+            SimError::Shuffler(e) => Some(e),
             SimError::Io(e) => Some(e),
             SimError::InvalidConfig { .. } => None,
         }
@@ -85,6 +89,12 @@ impl From<p2b_datasets::DatasetError> for SimError {
 impl From<p2b_privacy::PrivacyError> for SimError {
     fn from(e: p2b_privacy::PrivacyError) -> Self {
         SimError::Privacy(e)
+    }
+}
+
+impl From<p2b_shuffler::ShufflerError> for SimError {
+    fn from(e: p2b_shuffler::ShufflerError) -> Self {
+        SimError::Shuffler(e)
     }
 }
 

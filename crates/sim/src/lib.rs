@@ -17,6 +17,8 @@
 //!   population (Figures 4 and 5),
 //! * [`run_logged_experiment`] — accuracy / CTR over per-agent sample streams
 //!   with a train/test agent split (Figures 6 and 7),
+//! * [`run_streaming_population`] — the serving-scale shape: parallel
+//!   producers submitting to the sharded shuffler engine,
 //! * [`outcome::SeriesPoint`] and [`write_series_json`] — serialization of
 //!   result series for plotting and for EXPERIMENTS.md.
 
@@ -28,6 +30,7 @@ mod logged;
 mod outcome;
 mod parallel;
 mod regime;
+mod streaming;
 mod synthetic;
 
 pub use error::SimError;
@@ -35,4 +38,5 @@ pub use logged::{run_logged_experiment, LoggedExample, LoggedExperimentConfig};
 pub use outcome::{write_series_json, RegimeOutcome, SeriesPoint};
 pub use parallel::parallel_map;
 pub use regime::Regime;
+pub use streaming::{run_streaming_population, StreamingConfig, StreamingOutcome};
 pub use synthetic::{run_synthetic_population, PopulationConfig};

@@ -1,10 +1,22 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The workspace uses `crossbeam::channel::{unbounded, Sender, Receiver}`
-//! with handles shared by reference across scoped threads, so — unlike
-//! `std::sync::mpsc`, whose receiver is `!Sync` — both endpoints here are
-//! `Send + Sync`. The implementation is a plain `Mutex<VecDeque>` plus a
-//! `Condvar`, which is all the single-consumer pipeline needs.
+//! The workspace uses `crossbeam::channel` with handles shared by reference
+//! across scoped threads, so — unlike `std::sync::mpsc`, whose receiver is
+//! `!Sync` — both endpoints here are `Send + Sync`. Two channel flavors are
+//! provided, mirroring the real crate's API subset the workspace uses:
+//!
+//! * [`channel::unbounded`] — unlimited queue, `send` never blocks. Used for
+//!   the fan-in stage of the sharded shuffler engine and by the legacy
+//!   single-lane pipeline.
+//! * [`channel::bounded`] — capacity-limited queue whose `send` blocks while
+//!   the queue is full. This is the backpressure primitive: shard ingress
+//!   queues use it so producers slow down instead of ballooning memory when
+//!   a shard worker falls behind.
+//!
+//! The implementation is a plain `Mutex<VecDeque>` plus two `Condvar`s
+//! (one for "data available", one for "space available"), which is all the
+//! single-consumer pipeline stages need. [`channel::Receiver::recv_timeout`]
+//! supports the engine's flush-interval trigger.
 
 #![forbid(unsafe_code)]
 
@@ -12,6 +24,7 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -22,6 +35,10 @@ pub mod channel {
     struct Inner<T> {
         state: Mutex<State<T>>,
         available: Condvar,
+        /// Signalled when the queue shrinks; only bounded senders wait on it.
+        space: Condvar,
+        /// `None` for unbounded channels, `Some(cap)` for bounded ones.
+        capacity: Option<usize>,
     }
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
@@ -35,6 +52,41 @@ pub mod channel {
     }
 
     impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived before the deadline; the channel is still open.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "channel is empty and disconnected")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// The sending half of an unbounded channel. Clonable and `Sync`.
     pub struct Sender<T> {
@@ -50,6 +102,10 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueues `value`.
         ///
+        /// On a [`bounded`] channel this blocks while the queue is at
+        /// capacity — the backpressure contract: a slow consumer slows its
+        /// producers down rather than letting the queue grow without limit.
+        ///
         /// # Errors
         ///
         /// Returns [`SendError`] carrying the value back when the receiver
@@ -60,6 +116,11 @@ pub mod channel {
         /// Panics if the channel mutex is poisoned.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.inner.state.lock().expect("channel poisoned");
+            if let Some(capacity) = self.inner.capacity {
+                while state.receiver_alive && state.queue.len() >= capacity {
+                    state = self.inner.space.wait(state).expect("channel poisoned");
+                }
+            }
             if !state.receiver_alive {
                 return Err(SendError(value));
             }
@@ -109,12 +170,75 @@ pub mod channel {
             let mut state = self.inner.state.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.space.notify_one();
                     return Some(value);
                 }
                 if state.senders == 0 {
                     return None;
                 }
                 state = self.inner.available.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every sender
+        /// has been dropped.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex is poisoned.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.recv_opt().ok_or(RecvError)
+        }
+
+        /// Blocks until a value arrives or `timeout` elapses.
+        ///
+        /// The engine's flush-interval trigger is built on this: a worker
+        /// waits one interval for input and flushes its partial batch when
+        /// the wait times out.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes with the
+        /// channel still open, [`RecvTimeoutError::Disconnected`] once the
+        /// channel is empty and every sender has been dropped.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex is poisoned.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.space.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, result) = self
+                    .inner
+                    .available
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel poisoned");
+                state = next;
+                if result.timed_out() && state.queue.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
             }
         }
 
@@ -136,6 +260,9 @@ pub mod channel {
                 .lock()
                 .expect("channel poisoned")
                 .receiver_alive = false;
+            // Wake senders blocked on a full bounded queue so they observe
+            // the disconnect instead of waiting forever.
+            self.inner.space.notify_all();
         }
     }
 
@@ -161,19 +288,22 @@ pub mod channel {
         type Item = T;
 
         fn next(&mut self) -> Option<T> {
-            self.receiver
+            let value = self
+                .receiver
                 .inner
                 .state
                 .lock()
                 .expect("channel poisoned")
                 .queue
-                .pop_front()
+                .pop_front();
+            if value.is_some() {
+                self.receiver.inner.space.notify_one();
+            }
+            value
         }
     }
 
-    /// Creates an unbounded multi-producer channel.
-    #[must_use]
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -181,6 +311,8 @@ pub mod channel {
                 receiver_alive: true,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
         });
         (
             Sender {
@@ -189,11 +321,34 @@ pub mod channel {
             Receiver { inner },
         )
     }
+
+    /// Creates an unbounded multi-producer channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded multi-producer channel holding at most `capacity`
+    /// queued values; [`Sender::send`] blocks while the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero: the real crossbeam's zero-capacity
+    /// rendezvous channel is not implemented by this stand-in.
+    #[must_use]
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            capacity > 0,
+            "zero-capacity rendezvous channels are not supported by the stand-in"
+        );
+        channel(Some(capacity))
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
 
     #[test]
     fn multi_producer_delivery() {
@@ -262,5 +417,67 @@ mod tests {
         let got: Vec<u8> = rx.iter().collect();
         producer.join().unwrap();
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space_is_freed() {
+        let (tx, rx) = bounded::<usize>(2);
+        tx.send(0).unwrap();
+        tx.send(1).unwrap();
+        // The third send must block until the consumer makes room.
+        let producer = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+            tx.send(3).unwrap();
+        });
+        let mut got = Vec::new();
+        for value in rx.iter() {
+            got.push(value);
+            // Slow consumer: the producer can never run more than
+            // `capacity` ahead of us.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_send_fails_after_receiver_drop_even_when_full() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(5));
+        drop(rx);
+        assert!(blocked.join().unwrap().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn bounded_rejects_zero_capacity() {
+        let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(2)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(2)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(2)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_returns_disconnected_error() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(4).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(4));
+        assert!(rx.recv().is_err());
     }
 }
