@@ -82,6 +82,28 @@ pub struct EpsilonGreedy {
 impl EpsilonGreedy {
     /// Creates a cold-start ε-greedy policy.
     ///
+    /// # Example
+    ///
+    /// A minimal pull/update loop:
+    ///
+    /// ```
+    /// use p2b_bandit::{ContextualPolicy, EpsilonGreedy, EpsilonGreedyConfig};
+    /// use p2b_linalg::Vector;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), p2b_bandit::BanditError> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let mut policy = EpsilonGreedy::new(EpsilonGreedyConfig::new(2, 3).with_epsilon(0.2))?;
+    /// let context = Vector::from(vec![0.7, 0.3]);
+    /// for _ in 0..5 {
+    ///     let action = policy.select_action(&context, &mut rng)?;
+    ///     policy.update(&context, action, 0.5)?;
+    /// }
+    /// assert_eq!(policy.observations(), 5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`BanditError::InvalidConfig`] for invalid configurations.

@@ -154,6 +154,26 @@ pub struct LinUcb {
 impl LinUcb {
     /// Creates a cold-start LinUCB policy.
     ///
+    /// # Example
+    ///
+    /// A minimal pull/update loop:
+    ///
+    /// ```
+    /// use p2b_bandit::{ContextualPolicy, LinUcb, LinUcbConfig};
+    /// use p2b_linalg::Vector;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), p2b_bandit::BanditError> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let mut policy = LinUcb::new(LinUcbConfig::new(3, 4))?;
+    /// let context = Vector::from(vec![0.5, 0.3, 0.2]);
+    /// let action = policy.select_action(&context, &mut rng)?;
+    /// policy.update(&context, action, 1.0)?;
+    /// assert_eq!(policy.observations(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`BanditError::InvalidConfig`] for invalid configurations.

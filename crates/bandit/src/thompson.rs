@@ -84,6 +84,29 @@ pub struct LinearThompsonSampling {
 impl LinearThompsonSampling {
     /// Creates a cold-start Thompson-sampling policy.
     ///
+    /// # Example
+    ///
+    /// A minimal pull/update loop:
+    ///
+    /// ```
+    /// use p2b_bandit::{ContextualPolicy, LinearThompsonSampling, ThompsonConfig};
+    /// use p2b_linalg::Vector;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), p2b_bandit::BanditError> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    /// let mut policy =
+    ///     LinearThompsonSampling::new(ThompsonConfig::new(2, 2).with_posterior_scale(0.5))?;
+    /// let context = Vector::from(vec![0.6, 0.4]);
+    /// for _ in 0..4 {
+    ///     let action = policy.select_action(&context, &mut rng)?;
+    ///     policy.update(&context, action, 0.3)?;
+    /// }
+    /// assert_eq!(policy.observations(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`BanditError::InvalidConfig`] for invalid configurations.

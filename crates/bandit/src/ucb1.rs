@@ -26,6 +26,31 @@ impl Ucb1 {
     /// `context_dimension` is recorded only so the policy can validate the
     /// contexts it is handed (it never uses their values).
     ///
+    /// # Example
+    ///
+    /// A minimal pull/update loop (UCB1 tries every arm once first):
+    ///
+    /// ```
+    /// use p2b_bandit::{ContextualPolicy, Ucb1};
+    /// use p2b_linalg::Vector;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), p2b_bandit::BanditError> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// let mut policy = Ucb1::new(2, 3)?;
+    /// let context = Vector::from(vec![0.5, 0.5]);
+    /// for _ in 0..3 {
+    ///     let action = policy.select_action(&context, &mut rng)?;
+    ///     policy.update(&context, action, 0.8)?;
+    /// }
+    /// // Every arm has been pulled exactly once.
+    /// for arm in 0..3 {
+    ///     assert_eq!(policy.pulls(p2b_bandit::Action::new(arm))?, 1);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`BanditError::InvalidConfig`] when `num_actions == 0` or

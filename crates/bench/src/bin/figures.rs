@@ -1,0 +1,170 @@
+//! All-in-one reproduction of the paper's utility-vs-privacy results
+//! (Figures 4–7): the scenario matrix of `p2b_experiments` crossed over
+//! every workload, privacy regime and policy, emitted as JSON + CSV under
+//! `target/experiments/`.
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny rounds/users for CI; also *enforces* the paper's
+//!   headline ordering (P2B ≥ randomized response on the synthetic
+//!   benchmark) and the presence of per-cell (ε, δ), exiting non-zero on
+//!   violation so the harness cannot silently rot.
+//! * `--seed <n>` — base seed (default 2026).
+
+use p2b_bench::experiments_dir;
+use p2b_experiments::{
+    run_matrix, run_streaming_shuffle, write_matrix_csv, write_matrix_json, MatrixConfig,
+    MatrixResult, PolicyKind, PrivacyRegime, ScenarioKind,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = match args.iter().position(|a| a == "--seed") {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--seed requires a value")?
+            .parse::<u64>()?,
+        None => 2026,
+    };
+
+    let config = if smoke {
+        MatrixConfig::smoke()
+    } else {
+        let mut full = MatrixConfig::new();
+        full.policies = PolicyKind::ALL.to_vec();
+        full
+    }
+    .with_seed(seed);
+
+    println!(
+        "Scenario matrix: {} scenarios x {} regimes x {} policies x {} repeat(s) = {} cells \
+         ({} users x {} rounds each, seed {seed})",
+        config.scenarios.len(),
+        config.regimes.len(),
+        config.policies.len(),
+        config.repeats,
+        config.num_cells(),
+        config.num_users,
+        config.interactions_per_user,
+    );
+
+    let result = run_matrix(&config)?;
+    for &scenario in &config.scenarios {
+        print_scenario_table(&config, &result, scenario);
+    }
+
+    // Serving-scale cross-check of the shuffled regime: the same pipeline
+    // driven through p2b_sim::run_streaming_population (parallel producers
+    // into the sharded engine of a full P2bSystem).
+    let streaming = run_streaming_shuffle(&config, 4, seed ^ 0x5EED)?;
+    let received: u64 = streaming
+        .round_stats
+        .iter()
+        .map(|s| s.received as u64)
+        .sum();
+    println!(
+        "\nStreaming cross-check (4 producers, {} shards): {} submitted, {} received, \
+         {} batches, per-report eps = {:.4}",
+        config.shuffler_shards,
+        streaming.submitted,
+        received,
+        streaming.ledger.records().len(),
+        streaming.ledger.per_report_epsilon(),
+    );
+    if received != streaming.submitted {
+        return Err("streaming engine lost reports".into());
+    }
+
+    let dir = experiments_dir();
+    let json_path = dir.join("figures.json");
+    let csv_path = dir.join("figures.csv");
+    write_matrix_json(&json_path, &result)?;
+    write_matrix_csv(&csv_path, &result)?;
+    let csv_rows: usize = result.cells.iter().map(|c| c.series.len()).sum();
+    println!(
+        "\nresults written to {} and {} ({csv_rows} CSV rows)",
+        json_path.display(),
+        csv_path.display(),
+    );
+
+    if smoke {
+        enforce_headline_invariants(&result)?;
+        println!("smoke invariants hold: P2B >= randomized response on the synthetic scenario; every private cell reports (eps, delta)");
+    }
+    Ok(())
+}
+
+/// Prints one scenario's utility table: one row per policy × repeat, one
+/// column per regime, plus the achieved per-report guarantee.
+fn print_scenario_table(config: &MatrixConfig, result: &MatrixResult, scenario: ScenarioKind) {
+    println!(
+        "\n=== {} ({}) — final cumulative reward ===",
+        scenario,
+        scenario.paper_figure()
+    );
+    print!("{:>20}", "policy");
+    for regime in &config.regimes {
+        print!(" {:>24}", regime.key());
+    }
+    println!();
+    for &policy in &config.policies {
+        for repeat in 0..config.repeats {
+            let label = if config.repeats > 1 {
+                format!("{}#{repeat}", policy.key())
+            } else {
+                policy.key().to_owned()
+            };
+            print!("{label:>20}");
+            for &regime in &config.regimes {
+                let found = result.cells.iter().find(|c| {
+                    c.spec.scenario == scenario
+                        && c.spec.regime == regime
+                        && c.spec.policy == policy
+                        && c.spec.repeat == repeat
+                });
+                let text = found.map_or_else(
+                    || "-".to_owned(),
+                    |cell| {
+                        let guarantee = match (cell.epsilon, cell.delta) {
+                            (Some(e), Some(d)) => format!(" (eps {e:.3}, delta {d:.1e})"),
+                            _ => String::new(),
+                        };
+                        format!("{:.1}{guarantee}", cell.final_cumulative_reward)
+                    },
+                );
+                print!(" {text:>24}");
+            }
+            println!();
+        }
+    }
+}
+
+/// The acceptance invariants of the smoke run: the paper's qualitative
+/// ordering on the synthetic benchmark and complete privacy accounting.
+fn enforce_headline_invariants(result: &MatrixResult) -> Result<(), Box<dyn std::error::Error>> {
+    let cell = |regime| {
+        result
+            .cell(ScenarioKind::SyntheticGaussian, regime, PolicyKind::LinUcb)
+            .ok_or("smoke matrix must include the synthetic LinUCB cells")
+    };
+    let ldp = cell(PrivacyRegime::LocalDp)?;
+    let p2b = cell(PrivacyRegime::P2bShuffle)?;
+    if p2b.final_cumulative_reward < ldp.final_cumulative_reward {
+        return Err(format!(
+            "headline violated: P2B cumulative reward {:.2} < randomized response {:.2}",
+            p2b.final_cumulative_reward, ldp.final_cumulative_reward
+        )
+        .into());
+    }
+    for cell in &result.cells {
+        if cell.spec.regime.is_private() && (cell.epsilon.is_none() || cell.delta.is_none()) {
+            return Err(format!(
+                "cell {}/{}/{} is private but missing its (eps, delta) record",
+                cell.spec.scenario, cell.spec.regime, cell.spec.policy
+            )
+            .into());
+        }
+    }
+    Ok(())
+}

@@ -12,8 +12,8 @@
 //! worker thread, and the producers run on `PRODUCERS` more. Run with:
 //!
 //! ```sh
-//! cargo run --release -p p2b_bench --bin throughput
-//! P2B_SCALE=full cargo run --release -p p2b_bench --bin throughput
+//! cargo run --release -p p2b-bench --bin throughput
+//! P2B_SCALE=full cargo run --release -p p2b-bench --bin throughput
 //! ```
 
 use p2b_bench::Scale;

@@ -23,7 +23,7 @@
 //! engine can drive any of them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod criteo;
 mod environment;

@@ -20,11 +20,15 @@ pub struct SyntheticConfig {
     pub beta: f64,
     /// Variance `σ²` of the additive Gaussian reward noise.
     pub noise_variance: f64,
+    /// When `true`, realized rewards are Bernoulli draws with the mean
+    /// `β·softmax(Wx)_a` instead of the mean plus Gaussian noise. Expected
+    /// rewards (and hence regret accounting) are identical in both modes.
+    pub bernoulli_rewards: bool,
 }
 
 impl SyntheticConfig {
     /// Creates a configuration with the paper's default `β = 0.1`,
-    /// `σ² = 0.01`.
+    /// `σ² = 0.01` and Gaussian reward noise.
     #[must_use]
     pub fn new(context_dimension: usize, num_actions: usize) -> Self {
         Self {
@@ -32,6 +36,7 @@ impl SyntheticConfig {
             num_actions,
             beta: 0.1,
             noise_variance: 0.01,
+            bernoulli_rewards: false,
         }
     }
 
@@ -46,6 +51,14 @@ impl SyntheticConfig {
     #[must_use]
     pub fn with_noise_variance(mut self, noise_variance: f64) -> Self {
         self.noise_variance = noise_variance;
+        self
+    }
+
+    /// Switches realized rewards to Bernoulli draws with mean
+    /// `β·softmax(Wx)_a` (click-like 0/1 feedback).
+    #[must_use]
+    pub fn with_bernoulli_rewards(mut self) -> Self {
+        self.bernoulli_rewards = true;
         self
     }
 
@@ -190,6 +203,10 @@ impl ContextualEnvironment for SyntheticPreferenceEnvironment {
         rng: &mut dyn rand::RngCore,
     ) -> Result<f64, DatasetError> {
         let mean = self.expected_reward(context, action)?;
+        if self.config.bernoulli_rewards {
+            let draw: f64 = (*rng).gen();
+            return Ok(if draw < mean { 1.0 } else { 0.0 });
+        }
         let noise = if self.config.noise_variance > 0.0 {
             let normal = Normal::new(0.0, self.config.noise_variance.sqrt()).map_err(|_| {
                 DatasetError::InvalidConfig {
@@ -329,5 +346,33 @@ mod tests {
         let b = env.sample_reward(&ctx, 2, &mut rng).unwrap();
         assert_eq!(a, b);
         assert!((a - env.expected_reward(&ctx, 2).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_rewards_are_binary_with_the_right_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut env = SyntheticPreferenceEnvironment::new(
+            SyntheticConfig::new(4, 3)
+                .with_beta(0.9)
+                .with_bernoulli_rewards(),
+            &mut rng,
+        )
+        .unwrap();
+        let ctx = env.sample_context(&mut rng);
+        let mean = env.expected_reward(&ctx, 1).unwrap();
+        let trials = 20_000;
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let r = env.sample_reward(&ctx, 1, &mut rng).unwrap();
+            assert!(r == 0.0 || r == 1.0, "Bernoulli rewards must be 0/1");
+            if r == 1.0 {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials);
+        assert!(
+            (rate - mean).abs() < 0.02,
+            "observed click rate {rate}, expected {mean}"
+        );
     }
 }

@@ -1,0 +1,193 @@
+//! The policy axis of the experiment matrix: which bandit algorithm runs on
+//! every device and on the central server.
+
+use crate::ExperimentError;
+use p2b_bandit::{
+    Action, ContextualPolicy, EpsilonGreedy, EpsilonGreedyConfig, LinUcb, LinUcbConfig,
+    LinearThompsonSampling, ThompsonConfig, Ucb1,
+};
+use p2b_linalg::Vector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which bandit policy a matrix cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// ε-greedy with per-arm linear value estimates.
+    EpsilonGreedy,
+    /// Context-free UCB1 (Auer et al. 2002).
+    Ucb1,
+    /// Linear Thompson sampling (posterior-sampling exploration).
+    Thompson,
+    /// Disjoint-arm LinUCB — the policy the paper's experiments use.
+    LinUcb,
+}
+
+impl PolicyKind {
+    /// Every policy, LinUCB (the paper's choice) last so tables end on it.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::EpsilonGreedy,
+        PolicyKind::Ucb1,
+        PolicyKind::Thompson,
+        PolicyKind::LinUcb,
+    ];
+
+    /// Stable identifier used in result files and CSV rows.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            PolicyKind::EpsilonGreedy => "epsilon_greedy",
+            PolicyKind::Ucb1 => "ucb1",
+            PolicyKind::Thompson => "thompson",
+            PolicyKind::LinUcb => "linucb",
+        }
+    }
+
+    /// Instantiates a cold-start policy of this kind for the given workload
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-construction errors for degenerate shapes.
+    pub fn build(
+        &self,
+        context_dimension: usize,
+        num_actions: usize,
+        alpha: f64,
+    ) -> Result<AnyPolicy, ExperimentError> {
+        Ok(match self {
+            PolicyKind::EpsilonGreedy => AnyPolicy::EpsilonGreedy(EpsilonGreedy::new(
+                EpsilonGreedyConfig::new(context_dimension, num_actions),
+            )?),
+            PolicyKind::Ucb1 => AnyPolicy::Ucb1(Ucb1::new(context_dimension, num_actions)?),
+            PolicyKind::Thompson => AnyPolicy::Thompson(LinearThompsonSampling::new(
+                ThompsonConfig::new(context_dimension, num_actions),
+            )?),
+            PolicyKind::LinUcb => AnyPolicy::LinUcb(LinUcb::new(
+                LinUcbConfig::new(context_dimension, num_actions).with_alpha(alpha),
+            )?),
+        })
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A concrete policy instance of any kind.
+///
+/// The cell runner warm-starts every simulated device by *cloning* the
+/// central policy — a policy-agnostic warm start, where
+/// [`LinUcb::merge`] would tie the harness to LinUCB — so the enum keeps the
+/// concrete types (trait objects cannot be cloned).
+#[derive(Debug, Clone)]
+pub enum AnyPolicy {
+    /// See [`PolicyKind::EpsilonGreedy`].
+    EpsilonGreedy(EpsilonGreedy),
+    /// See [`PolicyKind::Ucb1`].
+    Ucb1(Ucb1),
+    /// See [`PolicyKind::Thompson`].
+    Thompson(LinearThompsonSampling),
+    /// See [`PolicyKind::LinUcb`].
+    LinUcb(LinUcb),
+}
+
+impl AnyPolicy {
+    fn inner(&mut self) -> &mut dyn ContextualPolicy {
+        match self {
+            AnyPolicy::EpsilonGreedy(p) => p,
+            AnyPolicy::Ucb1(p) => p,
+            AnyPolicy::Thompson(p) => p,
+            AnyPolicy::LinUcb(p) => p,
+        }
+    }
+
+    /// Proposes an action for the observed context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying policy's validation errors.
+    pub fn select_action(
+        &mut self,
+        context: &Vector,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Action, ExperimentError> {
+        Ok(self.inner().select_action(context, rng)?)
+    }
+
+    /// Feeds back the reward observed for `action` under `context`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying policy's validation errors.
+    pub fn update(
+        &mut self,
+        context: &Vector,
+        action: Action,
+        reward: f64,
+    ) -> Result<(), ExperimentError> {
+        Ok(self.inner().update(context, action, reward)?)
+    }
+
+    /// Total number of updates the policy has absorbed.
+    #[must_use]
+    pub fn observations(&mut self) -> u64 {
+        self.inner().observations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keys_are_distinct() {
+        let keys: std::collections::HashSet<_> =
+            PolicyKind::ALL.iter().map(PolicyKind::key).collect();
+        assert_eq!(keys.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn every_policy_kind_runs_a_pull_update_loop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build(4, 3, 1.0).unwrap();
+            let ctx = Vector::from(vec![0.4, 0.3, 0.2, 0.1]);
+            for _ in 0..5 {
+                let action = policy.select_action(&ctx, &mut rng).unwrap();
+                assert!(action.index() < 3, "{kind}");
+                policy.update(&ctx, action, 0.5).unwrap();
+            }
+            assert_eq!(policy.observations(), 5, "{kind}");
+        }
+    }
+
+    #[test]
+    fn cloning_carries_the_learned_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut central = PolicyKind::LinUcb.build(2, 2, 1.0).unwrap();
+        let ctx = Vector::from(vec![1.0, 0.0]);
+        for _ in 0..30 {
+            central.update(&ctx, Action::new(1), 1.0).unwrap();
+            central.update(&ctx, Action::new(0), 0.0).unwrap();
+        }
+        let mut warm = central.clone();
+        let mut votes = 0;
+        for _ in 0..10 {
+            if warm.select_action(&ctx, &mut rng).unwrap().index() == 1 {
+                votes += 1;
+            }
+        }
+        assert!(votes >= 8, "warm clone should exploit learned state");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        assert!(PolicyKind::LinUcb.build(0, 3, 1.0).is_err());
+        assert!(PolicyKind::Ucb1.build(3, 0, 1.0).is_err());
+    }
+}

@@ -23,7 +23,7 @@
 //!   result series for plotting and for EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 mod logged;

@@ -12,6 +12,7 @@
 //! | [`shuffler`] | the ESA-style anonymize / shuffle / threshold stage: synchronous, single-lane and sharded-engine shapes |
 //! | [`datasets`] | synthetic preference, multi-label and Criteo-like workloads |
 //! | [`sim`] | the multi-agent experiment harness behind the paper's figures |
+//! | [`experiments`] | the config-driven scenario matrix reproducing the utility-vs-privacy figures |
 //! | [`linalg`] | the small dense linear-algebra substrate |
 //!
 //! # Quickstart
@@ -42,6 +43,7 @@ pub use p2b_bandit as bandit;
 pub use p2b_core as core;
 pub use p2b_datasets as datasets;
 pub use p2b_encoding as encoding;
+pub use p2b_experiments as experiments;
 pub use p2b_linalg as linalg;
 pub use p2b_privacy as privacy;
 pub use p2b_shuffler as shuffler;
