@@ -2,7 +2,7 @@
 
 use crate::policy::{check_action, check_context, check_reward, random_action};
 use crate::{Action, BanditError, ContextualPolicy, Reward};
-use p2b_linalg::{RankOneInverse, Vector};
+use p2b_linalg::{Matrix, RankOneInverse, Vector};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`LinUcb`] policy.
@@ -80,6 +80,94 @@ impl LinUcbConfig {
             });
         }
         Ok(())
+    }
+}
+
+/// The sufficient statistics of `count` identical observations: the same
+/// context vector was observed with the same action `count` times, with
+/// rewards summing to `reward_sum`.
+///
+/// This is what LinUCB's ridge regression actually needs from repeated
+/// observations: the design-matrix contribution is `count · x xᵀ` and the
+/// reward-vector contribution is `reward_sum · x`, so a batch of `N` reports
+/// over `K` distinct `(context, action)` pairs folds in `K` matrix
+/// operations via [`LinUcb::update_batch`] instead of `N`.
+///
+/// # Example
+///
+/// ```
+/// use p2b_bandit::{Action, CoalescedUpdate};
+/// use p2b_linalg::Vector;
+///
+/// # fn main() -> Result<(), p2b_bandit::BanditError> {
+/// // 12 identical observations with 9 total reward, folded as one update.
+/// let update = CoalescedUpdate::new(Vector::from(vec![0.5, 0.5]), Action::new(1), 12, 9.0)?;
+/// assert_eq!(update.count(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoalescedUpdate {
+    context: Vector,
+    action: Action,
+    count: u64,
+    reward_sum: f64,
+}
+
+impl CoalescedUpdate {
+    /// Creates a coalesced update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidConfig`] when `count` is zero and
+    /// [`BanditError::InvalidReward`] when `reward_sum` is not a finite
+    /// number in `[0, count]` — the only range reachable by summing `count`
+    /// rewards that each lie in `[0, 1]`.
+    pub fn new(
+        context: Vector,
+        action: Action,
+        count: u64,
+        reward_sum: f64,
+    ) -> Result<Self, BanditError> {
+        if count == 0 {
+            return Err(BanditError::InvalidConfig {
+                parameter: "count",
+                message: "a coalesced update must cover at least one observation".to_owned(),
+            });
+        }
+        if !reward_sum.is_finite() || reward_sum < 0.0 || reward_sum > count as f64 {
+            return Err(BanditError::InvalidReward { reward: reward_sum });
+        }
+        Ok(Self {
+            context,
+            action,
+            count,
+            reward_sum,
+        })
+    }
+
+    /// The shared context vector of the coalesced observations.
+    #[must_use]
+    pub fn context(&self) -> &Vector {
+        &self.context
+    }
+
+    /// The shared action of the coalesced observations.
+    #[must_use]
+    pub fn action(&self) -> Action {
+        self.action
+    }
+
+    /// How many identical observations this update folds.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sum of the observed rewards.
+    #[must_use]
+    pub fn reward_sum(&self) -> f64 {
+        self.reward_sum
     }
 }
 
@@ -232,6 +320,119 @@ impl LinUcb {
             .collect()
     }
 
+    /// The accumulated design matrix `A_a = λI + Σ x xᵀ` of an arm — one half
+    /// of its sufficient statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidAction`] for out-of-range actions.
+    pub fn design(&self, action: Action) -> Result<&Matrix, BanditError> {
+        check_action(self.config.num_actions, action)?;
+        Ok(self.arms[action.index()].inverse.design())
+    }
+
+    /// The accumulated reward vector `b_a = Σ r·x` of an arm — the other half
+    /// of its sufficient statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidAction`] for out-of-range actions.
+    pub fn reward_vector(&self, action: Action) -> Result<&Vector, BanditError> {
+        check_action(self.config.num_actions, action)?;
+        Ok(&self.arms[action.index()].reward_vector)
+    }
+
+    /// Folds the sufficient statistics of `count` identical observations into
+    /// the chosen arm in one weighted Sherman–Morrison step
+    /// ([`p2b_linalg::RankOneInverse::update_weighted`]): `A_a += count·x xᵀ`,
+    /// `b_a += reward_sum·x`.
+    ///
+    /// Singleton groups remain bit-for-bit identical to the per-report
+    /// [`ContextualPolicy::update`] path: `update_weighted` delegates a
+    /// weight of exactly 1 to the plain rank-1 update, and the reward-vector
+    /// and pull arithmetic below coincide at `count == 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] /
+    /// [`BanditError::InvalidAction`] for mis-shaped inputs.
+    pub fn update_coalesced(&mut self, update: &CoalescedUpdate) -> Result<(), BanditError> {
+        check_context(self.config.context_dimension, update.context())?;
+        check_action(self.config.num_actions, update.action())?;
+        let arm = &mut self.arms[update.action().index()];
+        arm.inverse
+            .update_weighted(update.context(), update.count() as f64)?;
+        arm.reward_vector
+            .axpy(update.reward_sum(), update.context())?;
+        arm.pulls += update.count();
+        self.observations += update.count();
+        Ok(())
+    }
+
+    /// Folds a batch of coalesced sufficient statistics into the model.
+    ///
+    /// This is the server-side ingestion primitive: a shuffled batch of `N`
+    /// anonymous reports grouped by `(code, action)` becomes `K ≤ N`
+    /// coalesced updates, and the model fold costs `O(K·d²)` instead of
+    /// `O(N·d²)`. Returns the total number of observations folded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing update; earlier updates in the batch
+    /// stay applied (each update leaves the model in a valid state).
+    pub fn update_batch(&mut self, updates: &[CoalescedUpdate]) -> Result<u64, BanditError> {
+        let mut folded = 0u64;
+        for update in updates {
+            self.update_coalesced(update)?;
+            folded += update.count();
+        }
+        Ok(folded)
+    }
+
+    /// Proposes the arm with the highest upper confidence bound without
+    /// requiring mutable access — the selection rule never mutates the
+    /// statistics, only the tie-breaking consumes randomness.
+    ///
+    /// This is what lets many agents select actions against one shared,
+    /// immutable model snapshot (e.g. behind an `Arc`) without cloning it;
+    /// [`ContextualPolicy::select_action`] delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized
+    /// contexts.
+    pub fn select_action_ref(
+        &self,
+        context: &Vector,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Action, BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best: Vec<usize> = Vec::new();
+        for (idx, arm) in self.arms.iter().enumerate() {
+            let score = arm.upper_confidence_bound(context, self.config.alpha)?;
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best.clear();
+                best.push(idx);
+            } else if (score - best_score).abs() <= 1e-12 {
+                best.push(idx);
+            }
+        }
+        if best.is_empty() {
+            // All scores were NaN (cannot happen with validated inputs, but we
+            // keep the policy total): fall back to a uniform random action.
+            return Ok(random_action(self.config.num_actions, rng));
+        }
+        let choice = if best.len() == 1 {
+            best[0]
+        } else {
+            use rand::Rng as _;
+            best[(*rng).gen_range(0..best.len())]
+        };
+        Ok(Action::new(choice))
+    }
+
     /// Merges the sufficient statistics of another LinUCB model into this one.
     ///
     /// This is the warm-start primitive: the P2B server maintains a central
@@ -281,31 +482,7 @@ impl ContextualPolicy for LinUcb {
         context: &Vector,
         rng: &mut dyn rand::RngCore,
     ) -> Result<Action, BanditError> {
-        check_context(self.config.context_dimension, context)?;
-        let mut best_score = f64::NEG_INFINITY;
-        let mut best: Vec<usize> = Vec::new();
-        for (idx, arm) in self.arms.iter().enumerate() {
-            let score = arm.upper_confidence_bound(context, self.config.alpha)?;
-            if score > best_score + 1e-12 {
-                best_score = score;
-                best.clear();
-                best.push(idx);
-            } else if (score - best_score).abs() <= 1e-12 {
-                best.push(idx);
-            }
-        }
-        if best.is_empty() {
-            // All scores were NaN (cannot happen with validated inputs, but we
-            // keep the policy total): fall back to a uniform random action.
-            return Ok(random_action(self.config.num_actions, rng));
-        }
-        let choice = if best.len() == 1 {
-            best[0]
-        } else {
-            use rand::Rng as _;
-            best[(*rng).gen_range(0..best.len())]
-        };
-        Ok(Action::new(choice))
+        self.select_action_ref(context, rng)
     }
 
     fn update(
@@ -461,6 +638,123 @@ mod tests {
         // With no exploration bonus the greedy arm must always be selected.
         for _ in 0..20 {
             assert_eq!(policy.select_action(&ctx, &mut rng).unwrap().index(), 0);
+        }
+    }
+
+    #[test]
+    fn coalesced_update_validates_its_inputs() {
+        let ctx = Vector::from(vec![0.5, 0.5]);
+        assert!(CoalescedUpdate::new(ctx.clone(), Action::new(0), 0, 0.0).is_err());
+        assert!(CoalescedUpdate::new(ctx.clone(), Action::new(0), 3, -0.5).is_err());
+        assert!(CoalescedUpdate::new(ctx.clone(), Action::new(0), 3, 3.5).is_err());
+        assert!(CoalescedUpdate::new(ctx.clone(), Action::new(0), 3, f64::NAN).is_err());
+        let ok = CoalescedUpdate::new(ctx, Action::new(1), 3, 3.0).unwrap();
+        assert_eq!(ok.action().index(), 1);
+        assert!((ok.reward_sum() - 3.0).abs() < 1e-12);
+
+        let mut policy = LinUcb::new(LinUcbConfig::new(2, 2)).unwrap();
+        let wrong_dim = CoalescedUpdate::new(Vector::zeros(3), Action::new(0), 1, 0.5).unwrap();
+        assert!(policy.update_coalesced(&wrong_dim).is_err());
+        let wrong_action = CoalescedUpdate::new(Vector::zeros(2), Action::new(7), 1, 0.5).unwrap();
+        assert!(policy.update_coalesced(&wrong_action).is_err());
+    }
+
+    #[test]
+    fn singleton_coalesced_updates_are_bit_identical_to_sequential() {
+        let contexts = [
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![0.3, 0.7]),
+            Vector::from(vec![0.5, 0.5]),
+        ];
+        let mut sequential = LinUcb::new(LinUcbConfig::new(2, 2)).unwrap();
+        let mut coalesced = LinUcb::new(LinUcbConfig::new(2, 2)).unwrap();
+        for (i, ctx) in contexts.iter().enumerate() {
+            let action = Action::new(i % 2);
+            let reward = (i % 2) as f64;
+            sequential.update(ctx, action, reward).unwrap();
+            coalesced
+                .update_coalesced(&CoalescedUpdate::new(ctx.clone(), action, 1, reward).unwrap())
+                .unwrap();
+        }
+        for a in 0..2 {
+            assert_eq!(
+                sequential.design(Action::new(a)).unwrap(),
+                coalesced.design(Action::new(a)).unwrap()
+            );
+            assert_eq!(
+                sequential.reward_vector(Action::new(a)).unwrap(),
+                coalesced.reward_vector(Action::new(a)).unwrap()
+            );
+        }
+        assert_eq!(sequential.observations(), coalesced.observations());
+    }
+
+    #[test]
+    fn coalesced_batch_matches_per_report_ingestion() {
+        // 40 reports over 4 distinct (context, action) groups.
+        let groups = [
+            (Vector::from(vec![1.0, 0.0]), 0usize, 14u64, 10.0),
+            (Vector::from(vec![0.0, 1.0]), 1, 11, 0.0),
+            (Vector::from(vec![0.5, 0.5]), 0, 9, 4.5),
+            (Vector::from(vec![0.2, 0.8]), 1, 6, 6.0),
+        ];
+        let mut sequential = LinUcb::new(LinUcbConfig::new(2, 2)).unwrap();
+        for (ctx, action, count, reward_sum) in &groups {
+            let per_report = reward_sum / *count as f64;
+            for _ in 0..*count {
+                sequential
+                    .update(ctx, Action::new(*action), per_report)
+                    .unwrap();
+            }
+        }
+        let updates: Vec<CoalescedUpdate> = groups
+            .iter()
+            .map(|(ctx, action, count, reward_sum)| {
+                CoalescedUpdate::new(ctx.clone(), Action::new(*action), *count, *reward_sum)
+                    .unwrap()
+            })
+            .collect();
+        let mut coalesced = LinUcb::new(LinUcbConfig::new(2, 2)).unwrap();
+        let folded = coalesced.update_batch(&updates).unwrap();
+        assert_eq!(folded, 40);
+        assert_eq!(coalesced.observations(), sequential.observations());
+        for a in 0..2 {
+            let action = Action::new(a);
+            assert!(
+                coalesced
+                    .design(action)
+                    .unwrap()
+                    .max_abs_diff(sequential.design(action).unwrap())
+                    .unwrap()
+                    < 1e-9
+            );
+            let tc = coalesced.theta(action).unwrap();
+            let ts = sequential.theta(action).unwrap();
+            for i in 0..2 {
+                assert!((tc[i] - ts[i]).abs() < 1e-9, "theta drifted: {tc} vs {ts}");
+            }
+            assert_eq!(
+                coalesced.pulls(action).unwrap(),
+                sequential.pulls(action).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn select_action_ref_agrees_with_the_trait_path() {
+        let mut policy = LinUcb::new(LinUcbConfig::new(2, 3).with_alpha(0.1)).unwrap();
+        let ctx = Vector::from(vec![0.9, 0.1]);
+        for _ in 0..30 {
+            policy.update(&ctx, Action::new(2), 1.0).unwrap();
+            policy.update(&ctx, Action::new(0), 0.0).unwrap();
+        }
+        let frozen = policy.clone();
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        for _ in 0..20 {
+            let via_trait = policy.select_action(&ctx, &mut rng_a).unwrap();
+            let via_ref = frozen.select_action_ref(&ctx, &mut rng_b).unwrap();
+            assert_eq!(via_trait, via_ref);
         }
     }
 

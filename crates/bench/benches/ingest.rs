@@ -1,0 +1,100 @@
+//! Micro-benchmarks of central-model batch ingestion: the sequential
+//! per-report path against the coalescing sufficient-statistics path, at
+//! the code-reuse levels produced by crowd-blending thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2b_bandit::ContextualPolicy;
+use p2b_core::{CentralServer, P2bConfig};
+use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder};
+use p2b_linalg::Vector;
+use p2b_shuffler::{EncodedReport, RawReport, ShuffledBatch, Shuffler, ShufflerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const DIMENSION: usize = 16;
+const ACTIONS: usize = 10;
+const CODES: usize = 32;
+const BATCH: usize = 1_024;
+
+fn encoder() -> Arc<dyn Encoder> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let corpus: Vec<Vector> = (0..CODES * 8)
+        .map(|i| {
+            let mut raw = vec![0.05; DIMENSION];
+            raw[i % DIMENSION] = 1.0 + 0.05 * ((i / DIMENSION) % 5) as f64;
+            Vector::from(raw).normalized_l1().expect("non-empty")
+        })
+        .collect();
+    Arc::new(
+        KMeansEncoder::fit(
+            &corpus,
+            KMeansConfig::new(CODES).with_iterations(8),
+            &mut rng,
+        )
+        .expect("corpus is larger than k"),
+    )
+}
+
+/// One shuffled batch over `codes` distinct codes: reuse = BATCH / (codes·A).
+fn batch(codes: usize) -> ShuffledBatch {
+    let shuffler = Shuffler::new(ShufflerConfig::new(1)).expect("threshold 1 is valid");
+    let mut rng = StdRng::seed_from_u64(17);
+    let raw: Vec<RawReport> = (0..BATCH)
+        .map(|i| {
+            RawReport::with_timestamp(
+                "bench",
+                i as u64,
+                EncodedReport::new(
+                    rng.gen_range(0..codes),
+                    rng.gen_range(0..ACTIONS),
+                    f64::from(rng.gen_range(0..2u8)),
+                )
+                .expect("rewards 0/1 are valid"),
+            )
+        })
+        .collect();
+    shuffler.process(raw, &mut rng)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let encoder = encoder();
+    let mut group = c.benchmark_group("central_ingest");
+    // 32 codes → ~3x reuse; 8 codes → ~13x reuse (the post-threshold regime).
+    for &codes in &[32usize, 8] {
+        let shuffled = batch(codes);
+        // Each iteration folds one batch AND assembles the epoch snapshot:
+        // assembly synchronizes with every ingest shard, so the timing
+        // covers the actual model work, not just the dispatch.
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("codes{codes}")),
+            &shuffled,
+            |b, shuffled| {
+                let config = P2bConfig::new(DIMENSION, ACTIONS);
+                let mut server = CentralServer::new(&config, Arc::clone(&encoder)).unwrap();
+                b.iter(|| {
+                    server.ingest_batch(shuffled).unwrap();
+                    server.model().unwrap().observations()
+                });
+            },
+        );
+        for &shards in &[1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("coalesced_s{shards}"), format!("codes{codes}")),
+                &shuffled,
+                |b, shuffled| {
+                    let config = P2bConfig::new(DIMENSION, ACTIONS).with_ingest_shards(shards);
+                    let mut server = CentralServer::new(&config, Arc::clone(&encoder)).unwrap();
+                    b.iter(|| {
+                        server.ingest_batch_coalesced(shuffled).unwrap();
+                        server.model().unwrap().observations()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

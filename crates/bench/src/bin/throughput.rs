@@ -1,40 +1,65 @@
-//! Shard-count scaling of the streaming shuffler engine.
+//! Serving-path throughput: shuffler-engine shard scaling and central-model
+//! ingest scaling.
 //!
-//! Submits the same multi-producer report stream to a
-//! [`p2b_shuffler::ShufflerEngine`] configured with 1, 2, 4 and 8 shards and
-//! reports end-to-end throughput (submission through merged-batch delivery),
-//! plus the speedup over the single-shard baseline. The single-shard
-//! configuration is the engine's equivalent of the legacy
-//! `ShufflerPipeline` lane, so the speedup column is the direct payoff of
-//! sharding.
+//! **Part 1 — engine scaling.** Submits the same multi-producer report
+//! stream to a [`p2b_shuffler::ShufflerEngine`] configured with 1, 2, 4 and
+//! 8 shards and reports end-to-end throughput (submission through
+//! merged-batch delivery), plus the speedup over the single-shard baseline.
 //!
-//! Numbers are only meaningful on a multi-core machine: every shard is one
-//! worker thread, and the producers run on `PRODUCERS` more. Run with:
+//! **Part 2 — ingest scaling.** Replays the same shuffled batches into a
+//! [`p2b_core::CentralServer`] through its two ingestion paths:
+//!
+//! * `sequential` — the historical reference: one model update per report
+//!   (context vectors memoized per batch);
+//! * `coalesced` — the model-service path: batches grouped by
+//!   `(code, action)` into weighted sufficient-statistics updates,
+//!   dispatched to 1, 2 or 4 ingest shards.
+//!
+//! The stream reuses each `(code, action)` pair heavily (≥ 10×), which is
+//! what real shuffled batches look like after crowd-blending thresholding —
+//! every released code appears at least `l` times by construction — and is
+//! exactly the regime the coalescing ingester exploits.
+//!
+//! Both parts are written to `BENCH_ingest.json` (reports/sec, batch sizes,
+//! shard counts) so CI can archive the numbers; the smoke configuration is
+//! selected with `P2B_SCALE=quick`. Run with:
 //!
 //! ```sh
 //! cargo run --release -p p2b-bench --bin throughput
 //! P2B_SCALE=full cargo run --release -p p2b-bench --bin throughput
 //! ```
 
+use p2b_bandit::ContextualPolicy;
 use p2b_bench::Scale;
-use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerEngine};
+use p2b_core::{CentralServer, P2bConfig};
+use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder};
+use p2b_linalg::Vector;
+use p2b_shuffler::{
+    EncodedReport, RawReport, ShuffledBatch, Shuffler, ShufflerConfig, ShufflerEngine,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Producer threads submitting concurrently in every configuration.
 const PRODUCERS: usize = 8;
 /// Distinct encoded context codes in the synthetic stream.
 const CODES: usize = 64;
+/// Actions in the synthetic stream.
+const ACTIONS: usize = 10;
 /// Crowd-blending threshold (the paper's default `l`).
 const THRESHOLD: usize = 10;
+/// Context dimension of the ingest benchmark's central model.
+const DIMENSION: usize = 16;
 
 fn producer_stream(producer: usize, reports: usize) -> Vec<RawReport> {
     let mut rng = StdRng::seed_from_u64(producer as u64 + 1);
     (0..reports)
         .map(|i| {
             let code = rng.gen_range(0..CODES);
-            let action = rng.gen_range(0..10);
+            let action = rng.gen_range(0..ACTIONS);
             RawReport::with_timestamp(
                 format!("producer-{producer}"),
                 i as u64,
@@ -45,6 +70,33 @@ fn producer_stream(producer: usize, reports: usize) -> Vec<RawReport> {
         .collect()
 }
 
+/// One measured configuration, serialized into `BENCH_ingest.json`.
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    /// `"engine"` (part 1) or `"ingest"` (part 2).
+    stage: String,
+    /// `"sharded"` for the engine, `"sequential"`/`"coalesced"` for ingest.
+    mode: String,
+    shards: usize,
+    batch_size: usize,
+    reports: usize,
+    batches: usize,
+    wall_secs: f64,
+    reports_per_sec: f64,
+    /// Speedup over the stage's single-threaded baseline.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchOutput {
+    scale: String,
+    hardware_threads: usize,
+    /// Mean reports per distinct `(code, action)` pair in the ingest stream
+    /// — the code-reuse factor the coalescer exploits.
+    ingest_code_reuse: f64,
+    records: Vec<BenchRecord>,
+}
+
 struct RunResult {
     shards: usize,
     wall_secs: f64,
@@ -53,7 +105,7 @@ struct RunResult {
     released: usize,
 }
 
-fn run(shards: usize, streams: &[Vec<RawReport>], batch_size: usize) -> RunResult {
+fn run_engine(shards: usize, streams: &[Vec<RawReport>], batch_size: usize) -> RunResult {
     let engine = ShufflerEngine::builder(ShufflerConfig::new(THRESHOLD))
         .shards(shards)
         .batch_size(batch_size)
@@ -98,8 +150,86 @@ fn run(shards: usize, streams: &[Vec<RawReport>], batch_size: usize) -> RunResul
     }
 }
 
+/// Fits the k-means encoder the ingest benchmark's server validates against.
+fn fit_encoder() -> Arc<dyn Encoder> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus: Vec<Vector> = (0..CODES * 8)
+        .map(|i| {
+            let mut raw = vec![0.05; DIMENSION];
+            raw[i % DIMENSION] = 1.0 + 0.05 * ((i / DIMENSION) % 7) as f64;
+            raw[(i / 3) % DIMENSION] += 0.25;
+            Vector::from(raw).normalized_l1().expect("non-empty")
+        })
+        .collect();
+    Arc::new(
+        KMeansEncoder::fit(
+            &corpus,
+            KMeansConfig::new(CODES).with_iterations(10),
+            &mut rng,
+        )
+        .expect("corpus is larger than k"),
+    )
+}
+
+/// Builds the shuffled batches every ingest configuration replays: heavy
+/// `(code, action)` reuse, exactly like post-threshold production batches.
+fn ingest_batches(num_codes: usize, batch_size: usize, batches: usize) -> Vec<ShuffledBatch> {
+    let shuffler = Shuffler::new(ShufflerConfig::new(1)).expect("threshold 1 is valid");
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..batches)
+        .map(|b| {
+            let raw: Vec<RawReport> = (0..batch_size)
+                .map(|i| {
+                    let code = rng.gen_range(0..num_codes);
+                    let action = rng.gen_range(0..ACTIONS);
+                    RawReport::with_timestamp(
+                        format!("b{b}"),
+                        i as u64,
+                        EncodedReport::new(code, action, f64::from(rng.gen_range(0..2u8)))
+                            .expect("rewards 0/1 are valid"),
+                    )
+                })
+                .collect();
+            shuffler.process(raw, &mut rng)
+        })
+        .collect()
+}
+
+enum IngestMode {
+    Sequential,
+    Coalesced { ingest_shards: usize },
+}
+
+fn run_ingest(mode: &IngestMode, encoder: &Arc<dyn Encoder>, batches: &[ShuffledBatch]) -> f64 {
+    let shards = match mode {
+        IngestMode::Sequential => 1,
+        IngestMode::Coalesced { ingest_shards } => *ingest_shards,
+    };
+    let config = P2bConfig::new(DIMENSION, ACTIONS).with_ingest_shards(shards);
+    let mut server =
+        CentralServer::new(&config, Arc::clone(encoder)).expect("static configuration is valid");
+    let start = Instant::now();
+    let mut accepted = 0u64;
+    for batch in batches {
+        accepted += match mode {
+            IngestMode::Sequential => server.ingest_batch(batch),
+            IngestMode::Coalesced { .. } => server.ingest_batch_coalesced(batch),
+        }
+        .expect("well-formed batches ingest cleanly");
+    }
+    // Synchronize with the ingest shards: assembling the model waits for
+    // every dispatched update to be folded, so the timing covers the work.
+    let model = server.model().expect("assembly succeeds");
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(model.observations(), accepted, "no update may be lost");
+    wall
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let mut records = Vec::new();
+
+    // ── Part 1: shuffler-engine shard scaling ────────────────────────────
     let per_producer = scale.pick(5_000, 50_000, 250_000);
     let batch_size = scale.pick(1_024, 4_096, 8_192);
     let total = per_producer * PRODUCERS;
@@ -122,7 +252,7 @@ fn main() {
 
     // Warm-up pass so allocator and page-cache effects do not favor the
     // later (multi-shard) runs.
-    let _ = run(1, &streams, batch_size);
+    let _ = run_engine(1, &streams, batch_size);
 
     println!(
         "\n{:>7} {:>10} {:>14} {:>9} {:>10} {:>9}",
@@ -130,8 +260,9 @@ fn main() {
     );
     let mut baseline = None;
     for shards in [1usize, 2, 4, 8] {
-        let result = run(shards, &streams, batch_size);
+        let result = run_engine(shards, &streams, batch_size);
         let baseline_rate = *baseline.get_or_insert(result.reports_per_sec);
+        let speedup = result.reports_per_sec / baseline_rate;
         println!(
             "{:>7} {:>10.1} {:>14.0} {:>9} {:>10} {:>8.2}x",
             result.shards,
@@ -139,11 +270,102 @@ fn main() {
             result.reports_per_sec,
             result.batches,
             result.released,
-            result.reports_per_sec / baseline_rate
+            speedup
         );
+        records.push(BenchRecord {
+            stage: "engine".to_owned(),
+            mode: "sharded".to_owned(),
+            shards: result.shards,
+            batch_size,
+            reports: total,
+            batches: result.batches,
+            wall_secs: result.wall_secs,
+            reports_per_sec: result.reports_per_sec,
+            speedup,
+        });
     }
+
+    // ── Part 2: central-model ingest scaling ─────────────────────────────
+    // Pair space sized for ≥ 10× reuse per batch — the post-threshold regime
+    // (every released code appears ≥ l = 10 times by construction).
+    let ingest_batch_size = scale.pick(512, 2_048, 8_192);
+    let ingest_batch_count = scale.pick(8, 16, 32);
+    let ingest_codes = scale.pick(4, 16, CODES);
+    let ingest_total = ingest_batch_size * ingest_batch_count;
+    let reuse = ingest_batch_size as f64 / (ingest_codes * ACTIONS) as f64;
+    println!("\nCentral-model ingestion: sequential vs coalesced sufficient statistics");
     println!(
-        "\nspeedup is relative to the 1-shard engine; see README.md#performance \
-         for the result table template"
+        "{ingest_total} reports in {ingest_batch_count} batches of {ingest_batch_size}, \
+         {ingest_codes} codes x {ACTIONS} actions (~{reuse:.0}x reuse per batch), d = {DIMENSION}"
     );
+
+    let encoder = fit_encoder();
+    let batches = ingest_batches(ingest_codes, ingest_batch_size, ingest_batch_count);
+    // Warm-up.
+    let _ = run_ingest(
+        &IngestMode::Sequential,
+        &encoder,
+        &batches[..1.min(batches.len())],
+    );
+
+    let modes: [(&str, IngestMode); 4] = [
+        ("sequential", IngestMode::Sequential),
+        ("coalesced", IngestMode::Coalesced { ingest_shards: 1 }),
+        ("coalesced", IngestMode::Coalesced { ingest_shards: 2 }),
+        ("coalesced", IngestMode::Coalesced { ingest_shards: 4 }),
+    ];
+    println!(
+        "\n{:>12} {:>7} {:>10} {:>14} {:>9}",
+        "mode", "shards", "wall (ms)", "reports/s", "speedup"
+    );
+    let mut ingest_baseline = None;
+    for (name, mode) in &modes {
+        let wall_secs = run_ingest(mode, &encoder, &batches);
+        let rate = ingest_total as f64 / wall_secs;
+        let baseline_rate = *ingest_baseline.get_or_insert(rate);
+        let speedup = rate / baseline_rate;
+        let shards = match mode {
+            IngestMode::Sequential => 1,
+            IngestMode::Coalesced { ingest_shards } => *ingest_shards,
+        };
+        println!(
+            "{:>12} {:>7} {:>10.1} {:>14.0} {:>8.2}x",
+            name,
+            shards,
+            wall_secs * 1e3,
+            rate,
+            speedup
+        );
+        records.push(BenchRecord {
+            stage: "ingest".to_owned(),
+            mode: (*name).to_owned(),
+            shards,
+            batch_size: ingest_batch_size,
+            reports: ingest_total,
+            batches: ingest_batch_count,
+            wall_secs,
+            reports_per_sec: rate,
+            speedup,
+        });
+    }
+
+    let coalesced_best = records
+        .iter()
+        .filter(|r| r.stage == "ingest" && r.mode == "coalesced")
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nbest coalesced ingest speedup over sequential per-report ingestion: \
+         {coalesced_best:.2}x"
+    );
+
+    let output = BenchOutput {
+        scale: format!("{scale:?}").to_lowercase(),
+        hardware_threads: cores,
+        ingest_code_reuse: reuse,
+        records,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("records serialize");
+    std::fs::write("BENCH_ingest.json", json).expect("benchmark artifact is writable");
+    println!("machine-readable results written to BENCH_ingest.json");
 }

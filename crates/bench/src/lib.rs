@@ -12,7 +12,7 @@
 //! `P2B_SCALE=quick` for a smoke-test pass.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use p2b_sim::{Regime, SeriesPoint};
 use std::path::PathBuf;

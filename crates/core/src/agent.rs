@@ -1,13 +1,54 @@
 //! The local P2B agent: LinUCB + encoder + randomized reporter.
 
-use crate::{CodeRepresentation, CoreError, P2bConfig, RandomizedReporter};
-use p2b_bandit::{Action, ContextualPolicy, LinUcb};
+use crate::{CodeRepresentation, CoreError, ModelSnapshot, P2bConfig, RandomizedReporter};
+use p2b_bandit::{Action, ContextualPolicy, LinUcb, LinUcbConfig};
 use p2b_encoding::Encoder;
 use p2b_linalg::Vector;
 use p2b_privacy::{amplified_epsilon, PrivacyAccountant, PrivacyGuarantee};
 use p2b_shuffler::{EncodedReport, RawReport};
 use rand::Rng;
 use std::sync::Arc;
+
+/// The agent's policy state: either a pointer into the shared central
+/// snapshot (no per-agent model memory at all) or an owned policy.
+///
+/// A warm agent starts in [`AgentPolicy::Shared`] and is promoted to
+/// [`AgentPolicy::Owned`] copy-on-write, the first time it needs to fold a
+/// local observation. Selection-only agents — the overwhelming majority in a
+/// serving deployment — therefore never copy the central model; cold agents
+/// start owned (their model is empty, there is nothing to share).
+#[derive(Debug, Clone)]
+enum AgentPolicy {
+    /// Reads go straight through the epoch's shared [`ModelSnapshot`].
+    Shared(Arc<ModelSnapshot>),
+    /// The agent has local observations of its own.
+    Owned(LinUcb),
+}
+
+/// Rejects a central snapshot whose model shape does not match the shape
+/// the agent's configuration implies — the same incompatibilities the
+/// merge-based warm start used to reject at construction time.
+fn check_snapshot_shape(
+    expected: &LinUcbConfig,
+    snapshot: &ModelSnapshot,
+) -> Result<(), CoreError> {
+    let found = snapshot.model().config();
+    if found.context_dimension != expected.context_dimension
+        || found.num_actions != expected.num_actions
+    {
+        return Err(CoreError::InvalidConfig {
+            parameter: "warm_start",
+            message: format!(
+                "snapshot model shape ({}, {}) does not match the configured ({}, {})",
+                found.context_dimension,
+                found.num_actions,
+                expected.context_dimension,
+                expected.num_actions
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// A local agent running on a (simulated) user device.
 ///
@@ -18,13 +59,14 @@ use std::sync::Arc;
 /// recording the (ε, δ) cost of its reporting opportunities.
 ///
 /// Agents are created through [`crate::P2bSystem::make_agent`] (warm start:
-/// the central model is merged into the fresh policy) or
+/// the agent selects against the epoch's shared central snapshot and clones
+/// it copy-on-write at its first local update) or
 /// [`crate::P2bSystem::make_cold_agent`] (no warm start, used by the
 /// cold-start baseline).
 #[derive(Debug, Clone)]
 pub struct LocalAgent {
     id: u64,
-    policy: LinUcb,
+    policy: AgentPolicy,
     encoder: Arc<dyn Encoder>,
     representation: CodeRepresentation,
     reporter: RandomizedReporter,
@@ -46,7 +88,7 @@ impl LocalAgent {
         id: u64,
         config: &P2bConfig,
         encoder: Arc<dyn Encoder>,
-        warm_start: Option<&LinUcb>,
+        warm_start: Option<Arc<ModelSnapshot>>,
     ) -> Result<Self, CoreError> {
         config.validate()?;
         if encoder.context_dimension() != config.context_dimension {
@@ -55,10 +97,16 @@ impl LocalAgent {
                 found: encoder.context_dimension(),
             });
         }
-        let mut policy = LinUcb::new(config.central_linucb(encoder.as_ref()))?;
-        if let Some(central) = warm_start {
-            policy.merge(central)?;
-        }
+        let central_config = config.central_linucb(encoder.as_ref());
+        let policy = match warm_start {
+            // The warm start is a *pointer* to the epoch's shared snapshot —
+            // no model bytes are copied until the agent first updates.
+            Some(snapshot) => {
+                check_snapshot_shape(&central_config, &snapshot)?;
+                AgentPolicy::Shared(snapshot)
+            }
+            None => AgentPolicy::Owned(LinUcb::new(central_config)?),
+        };
         let participation = config.participation()?;
         let epsilon = amplified_epsilon(participation, 0.0)?;
         let per_report_guarantee = PrivacyGuarantee::pure(epsilon)?;
@@ -88,9 +136,41 @@ impl LocalAgent {
     }
 
     /// Borrows the agent's policy (e.g. to inspect per-arm statistics).
+    ///
+    /// While the agent has no local observations of its own this is the
+    /// shared central snapshot; afterwards it is the agent's private copy.
     #[must_use]
     pub fn policy(&self) -> &LinUcb {
-        &self.policy
+        match &self.policy {
+            AgentPolicy::Shared(snapshot) => snapshot.model(),
+            AgentPolicy::Owned(policy) => policy,
+        }
+    }
+
+    /// The shared central snapshot this agent still reads through, if it has
+    /// not yet been promoted to an owned policy by a local update.
+    ///
+    /// Two agents warm-started within the same epoch return pointers to the
+    /// *same* allocation — the property that replaced the per-agent model
+    /// clone/merge of the pre-service design.
+    #[must_use]
+    pub fn warm_snapshot(&self) -> Option<&Arc<ModelSnapshot>> {
+        match &self.policy {
+            AgentPolicy::Shared(snapshot) => Some(snapshot),
+            AgentPolicy::Owned(_) => None,
+        }
+    }
+
+    /// The agent's policy for writing: promotes a shared snapshot to an
+    /// owned copy (copy-on-write) on first use.
+    fn policy_mut(&mut self) -> &mut LinUcb {
+        if let AgentPolicy::Shared(snapshot) = &self.policy {
+            self.policy = AgentPolicy::Owned(snapshot.model().clone());
+        }
+        match &mut self.policy {
+            AgentPolicy::Owned(policy) => policy,
+            AgentPolicy::Shared(_) => unreachable!("promoted to Owned above"),
+        }
     }
 
     /// Borrows the agent's reporter statistics.
@@ -127,7 +207,9 @@ impl LocalAgent {
         rng: &mut R,
     ) -> Result<Action, CoreError> {
         let model_context = self.model_context(raw_context)?;
-        Ok(self.policy.select_action(&model_context, rng)?)
+        // Selection never mutates the statistics, so it reads through the
+        // shared snapshot for as long as the agent has one.
+        Ok(self.policy().select_action_ref(&model_context, rng)?)
     }
 
     /// Feeds back the observed reward, updates the local policy, and lets the
@@ -146,7 +228,7 @@ impl LocalAgent {
     ) -> Result<(), CoreError> {
         let code = self.encoder.encode(raw_context)?;
         let model_context = self.representation.vector(self.encoder.as_ref(), code)?;
-        self.policy.update(&model_context, action, reward)?;
+        self.policy_mut().update(&model_context, action, reward)?;
         self.interactions += 1;
 
         let opportunities_before = self.reporter.opportunities();
@@ -180,8 +262,29 @@ impl LocalAgent {
     ///
     /// Returns [`CoreError::Bandit`] if the model shapes are incompatible.
     pub fn refresh_from(&mut self, central: &LinUcb) -> Result<(), CoreError> {
-        self.policy.merge(central)?;
+        self.policy_mut().merge(central)?;
         Ok(())
+    }
+
+    /// Replaces a shared warm start with a newer central snapshot without
+    /// copying: if the agent has no local observations yet, it simply points
+    /// at the new epoch's snapshot.
+    ///
+    /// Agents that already own local state fall back to
+    /// [`LocalAgent::refresh_from`] semantics, merging the snapshot's model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Bandit`] if the model shapes are incompatible.
+    pub fn refresh_from_snapshot(&mut self, snapshot: Arc<ModelSnapshot>) -> Result<(), CoreError> {
+        match &self.policy {
+            AgentPolicy::Shared(_) => {
+                check_snapshot_shape(self.policy().config(), &snapshot)?;
+                self.policy = AgentPolicy::Shared(snapshot);
+                Ok(())
+            }
+            AgentPolicy::Owned(_) => self.refresh_from(snapshot.model()),
+        }
     }
 }
 
@@ -213,6 +316,38 @@ mod tests {
         let cfg = P2bConfig::new(7, 3);
         let err = LocalAgent::new(0, &cfg, encoder(0), None);
         assert!(matches!(err, Err(CoreError::EncoderMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_mis_shaped_warm_start_snapshots() {
+        let cfg = config(); // 4-dimensional contexts, 3 actions
+        let enc = encoder(9);
+        // Wrong action count and wrong context dimension must both be
+        // rejected at construction, exactly like the old merge-based path.
+        for bad_model in [
+            LinUcb::new(p2b_bandit::LinUcbConfig::new(4, 5)).unwrap(),
+            LinUcb::new(p2b_bandit::LinUcbConfig::new(6, 3)).unwrap(),
+        ] {
+            let snapshot = Arc::new(crate::ModelSnapshot::new(0, bad_model));
+            let err = LocalAgent::new(7, &cfg, Arc::clone(&enc), Some(snapshot));
+            assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
+        }
+
+        // And a still-shared agent refuses to hop onto a mis-shaped snapshot.
+        let good = Arc::new(crate::ModelSnapshot::new(
+            0,
+            LinUcb::new(cfg.central_linucb(enc.as_ref())).unwrap(),
+        ));
+        let mut agent = LocalAgent::new(8, &cfg, Arc::clone(&enc), Some(good)).unwrap();
+        let bad = Arc::new(crate::ModelSnapshot::new(
+            1,
+            LinUcb::new(p2b_bandit::LinUcbConfig::new(4, 5)).unwrap(),
+        ));
+        assert!(agent.refresh_from_snapshot(bad).is_err());
+        assert!(
+            agent.warm_snapshot().is_some(),
+            "failed refresh must not detach"
+        );
     }
 
     #[test]
@@ -274,14 +409,42 @@ mod tests {
             central.update(&model_ctx, Action::new(0), 0.0).unwrap();
             central.update(&model_ctx, Action::new(1), 0.0).unwrap();
         }
+        let snapshot = Arc::new(crate::ModelSnapshot::new(1, central));
 
-        let mut warm = LocalAgent::new(4, &cfg, Arc::clone(&enc), Some(&central)).unwrap();
+        let mut warm =
+            LocalAgent::new(4, &cfg, Arc::clone(&enc), Some(Arc::clone(&snapshot))).unwrap();
+        // Until its first local update, the agent reads straight through the
+        // shared snapshot — no copy.
+        assert!(warm
+            .warm_snapshot()
+            .is_some_and(|s| Arc::ptr_eq(s, &snapshot)));
         // A warm agent should immediately prefer action 2.
         let mut votes = [0usize; 3];
         for _ in 0..20 {
             votes[warm.select_action(&ctx, &mut rng).unwrap().index()] += 1;
         }
         assert!(votes[2] >= 15, "warm agent votes: {votes:?}");
+
+        // The first local observation promotes the agent to an owned copy.
+        let action = warm.select_action(&ctx, &mut rng).unwrap();
+        warm.observe_reward(&ctx, action, 1.0, &mut rng).unwrap();
+        assert!(warm.warm_snapshot().is_none());
+        assert_eq!(
+            warm.policy().observations(),
+            snapshot.model().observations() + 1
+        );
+
+        // A still-shared sibling can hop to a newer snapshot without copying.
+        let mut sibling =
+            LocalAgent::new(5, &cfg, Arc::clone(&enc), Some(Arc::clone(&snapshot))).unwrap();
+        let newer = Arc::new(crate::ModelSnapshot::new(
+            2,
+            LinUcb::new(cfg.central_linucb(enc.as_ref())).unwrap(),
+        ));
+        sibling.refresh_from_snapshot(Arc::clone(&newer)).unwrap();
+        assert!(sibling
+            .warm_snapshot()
+            .is_some_and(|s| Arc::ptr_eq(s, &newer)));
     }
 
     #[test]

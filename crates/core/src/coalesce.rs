@@ -1,0 +1,104 @@
+//! Grouping shuffled report batches into coalesced sufficient statistics.
+//!
+//! Every report in a [`ShuffledBatch`] that carries the same context code
+//! shares the same model-context vector, so the batch's information content
+//! for LinUCB is fully captured by per-`(code, action)` sufficient
+//! statistics: an observation count and a reward sum. Coalescing a batch of
+//! `N` reports over `K` distinct pairs turns `N` `O(d²)` model updates into
+//! `K`, and computes each code's context vector exactly once.
+//!
+//! Equivalence argument: LinUCB's per-arm statistics are
+//! `A_a = λI + Σ x xᵀ` and `b_a = Σ r·x`, both *sums* over the batch — so
+//! grouping commutes with folding up to floating-point rounding. The
+//! property suite (`crates/core/tests/coalesce_equivalence.rs`) checks the
+//! coalesced fold against sequential per-report ingestion to 1e-9 across
+//! report orderings and shard counts.
+
+use crate::{CodeRepresentation, CoreError};
+use p2b_bandit::{Action, CoalescedUpdate};
+use p2b_encoding::{ContextCode, Encoder};
+use p2b_linalg::Vector;
+use p2b_shuffler::ShuffledBatch;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+
+/// A per-batch memo of code → model-context vectors.
+///
+/// Both ingestion paths of [`crate::CentralServer`] use it: the sequential
+/// path to stop recomputing `representation.vector(...)` for repeated codes
+/// within a batch, the coalesced path to materialize each distinct group's
+/// shared context exactly once.
+#[derive(Debug, Default)]
+pub(crate) struct CodeVectorCache {
+    vectors: HashMap<usize, Vector>,
+}
+
+impl CodeVectorCache {
+    /// Returns the model-context vector for `code`, computing it through the
+    /// encoder only on the first request.
+    pub(crate) fn get(
+        &mut self,
+        representation: CodeRepresentation,
+        encoder: &dyn Encoder,
+        code: usize,
+    ) -> Result<&Vector, CoreError> {
+        match self.vectors.entry(code) {
+            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Vacant(entry) => {
+                let vector = representation.vector(encoder, ContextCode::new(code))?;
+                Ok(entry.insert(vector))
+            }
+        }
+    }
+}
+
+/// The result of coalescing one shuffled batch.
+#[derive(Debug, Clone)]
+pub(crate) struct CoalescedBatch {
+    /// One update per distinct `(code, action)` pair, ordered by the pair —
+    /// a deterministic order, independent of the batch's shuffled report
+    /// order (the sums themselves accumulate in report order).
+    pub(crate) updates: Vec<CoalescedUpdate>,
+    /// Reports covered by `updates`.
+    pub(crate) accepted: u64,
+}
+
+/// Groups a shuffled batch by `(code, action)` into coalesced sufficient
+/// statistics, skipping (not failing on) reports whose code or action fall
+/// outside the configured ranges — the server cannot assume every client is
+/// well behaved.
+pub(crate) fn coalesce_batch(
+    representation: CodeRepresentation,
+    encoder: &dyn Encoder,
+    num_actions: usize,
+    batch: &ShuffledBatch,
+) -> Result<CoalescedBatch, CoreError> {
+    // BTreeMap, not HashMap: the fold order of the groups must not depend on
+    // hasher randomization, or ingestion would not be reproducible.
+    let mut groups: BTreeMap<(usize, usize), (u64, f64)> = BTreeMap::new();
+    let mut accepted = 0u64;
+    for report in batch.reports() {
+        if report.code() >= encoder.num_codes() || report.action() >= num_actions {
+            continue;
+        }
+        let group = groups
+            .entry((report.code(), report.action()))
+            .or_insert((0, 0.0));
+        group.0 += 1;
+        group.1 += report.reward();
+        accepted += 1;
+    }
+    let mut cache = CodeVectorCache::default();
+    let mut updates = Vec::with_capacity(groups.len());
+    for ((code, action), (count, reward_sum)) in groups {
+        let context = cache.get(representation, encoder, code)?.clone();
+        // Each reward lies in [0, 1], but accumulation rounding could nudge
+        // the sum marginally past `count`; clamp instead of rejecting.
+        let reward_sum = reward_sum.min(count as f64);
+        updates.push(
+            CoalescedUpdate::new(context, Action::new(action), count, reward_sum)
+                .map_err(CoreError::Bandit)?,
+        );
+    }
+    Ok(CoalescedBatch { updates, accepted })
+}

@@ -13,14 +13,21 @@
 //! [`P2bSystem::privacy_guarantee`] from the participation probability and
 //! the shuffler threshold, following Section 4 of the paper.
 //!
-//! Two ingestion paths feed the central model:
+//! The central model is owned by a sharded [`ModelService`]: ingest workers
+//! partitioned by action fold coalesced sufficient statistics (one weighted
+//! update per distinct `(code, action)` pair in a batch) and the
+//! [`CentralServer`] publishes epoch-versioned [`ModelSnapshot`]s behind an
+//! `Arc` that all warm starts of an epoch share. Two ingestion paths feed
+//! the service:
 //!
-//! * [`P2bSystem::flush_round`] — synchronous, single-threaded: the path
-//!   the simulation harness and the golden determinism tests use.
+//! * [`P2bSystem::flush_round`] — synchronous, per-report in batch order:
+//!   the path the simulation harness and the golden determinism tests use.
 //! * [`P2bSystem::spawn_engine`] — the sharded streaming engine
 //!   ([`p2b_shuffler::ShufflerEngine`]) with per-batch (ε, δ) amplification
 //!   accounting; configured by [`P2bConfig::shuffler_shards`] and
-//!   [`P2bConfig::shuffler_batch_size`]. This is the serving-scale path.
+//!   [`P2bConfig::shuffler_batch_size`]. Engine batches are folded through
+//!   the coalescing ingester ([`P2bSystem::ingest_engine_batch`]). This is
+//!   the serving-scale path.
 //!
 //! # Example
 //!
@@ -59,10 +66,12 @@
 #![deny(missing_docs)]
 
 mod agent;
+mod coalesce;
 mod config;
 mod error;
 mod reporter;
 mod server;
+mod service;
 mod system;
 
 pub use agent::LocalAgent;
@@ -70,4 +79,5 @@ pub use config::{CodeRepresentation, P2bConfig};
 pub use error::CoreError;
 pub use reporter::{PendingReport, RandomizedReporter};
 pub use server::CentralServer;
+pub use service::{ModelService, ModelSnapshot};
 pub use system::{P2bSystem, RoundStats};

@@ -1,31 +1,54 @@
-//! The central model server.
+//! The central model server: validation, epoch bookkeeping and snapshot
+//! publication in front of the sharded [`ModelService`].
 
-use crate::{CodeRepresentation, CoreError, P2bConfig};
-use p2b_bandit::{Action, ContextualPolicy, LinUcb};
-use p2b_encoding::{ContextCode, Encoder};
+use crate::coalesce::{coalesce_batch, CodeVectorCache};
+use crate::{CodeRepresentation, CoreError, ModelService, ModelSnapshot, P2bConfig};
+use p2b_bandit::{Action, CoalescedUpdate, LinUcb};
+use p2b_encoding::Encoder;
 use p2b_linalg::Vector;
 use p2b_shuffler::ShuffledBatch;
+use std::fmt;
 use std::sync::Arc;
 
 /// The analyzer/server of the ESA pipeline: it receives anonymized,
 /// shuffled, thresholded tuples `(y, a, r)` and folds them into a central
 /// LinUCB model that local agents use as their warm start.
 ///
+/// Since the model-service refactor the server is a facade: the model state
+/// lives on the [`ModelService`]'s ingest shards (partitioned by action),
+/// and the server's job is validation, code→vector memoization, epoch
+/// bookkeeping and the publication of epoch-versioned [`ModelSnapshot`]s.
+/// Two ingestion paths feed the shards:
+///
+/// * [`CentralServer::ingest_batch`] — per-report, in batch order, with the
+///   context vector memoized per code. This is the reference path: its
+///   seeded behavior is bit-for-bit identical to the historical per-report
+///   loop and is pinned by the golden determinism suite.
+/// * [`CentralServer::ingest_batch_coalesced`] — groups the batch by
+///   `(code, action)` first, so `N` reports over `K` distinct pairs cost
+///   `K` weighted model updates instead of `N`. Equivalent to the
+///   sequential path up to floating-point rounding (≤ 1e-9 in the property
+///   suite); the serving-scale engine paths use it.
+///
 /// For the non-private baseline (agents sharing raw contexts) the server also
 /// accepts raw tuples through [`CentralServer::ingest_raw`]; that path is
 /// only valid when the code representation is
 /// [`CodeRepresentation::Centroid`], because otherwise the central model's
 /// context space is the code space and raw contexts have the wrong dimension.
-#[derive(Debug, Clone)]
 pub struct CentralServer {
-    model: LinUcb,
+    service: ModelService,
     encoder: Arc<dyn Encoder>,
     representation: CodeRepresentation,
+    model_dimension: usize,
+    num_actions: usize,
     ingested_reports: u64,
+    epoch: u64,
+    cached: Option<Arc<ModelSnapshot>>,
 }
 
 impl CentralServer {
-    /// Creates an empty central server.
+    /// Creates an empty central server, spawning its model service with
+    /// [`P2bConfig::ingest_shards`] ingest workers.
     ///
     /// # Errors
     ///
@@ -39,12 +62,17 @@ impl CentralServer {
                 found: encoder.context_dimension(),
             });
         }
-        let model = LinUcb::new(config.central_linucb(encoder.as_ref()))?;
+        let model_config = config.central_linucb(encoder.as_ref());
+        let service = ModelService::spawn(model_config, config.ingest_shards)?;
         Ok(Self {
-            model,
+            service,
+            model_dimension: model_config.context_dimension,
+            num_actions: model_config.num_actions,
             encoder,
             representation: config.code_representation,
             ingested_reports: 0,
+            epoch: 0,
+            cached: None,
         })
     }
 
@@ -54,19 +82,73 @@ impl CentralServer {
         self.ingested_reports
     }
 
-    /// Borrows the central model.
+    /// The current ingestion epoch: bumped every time an ingest call folded
+    /// at least one report, i.e. every time the model state changed.
     #[must_use]
-    pub fn model(&self) -> &LinUcb {
-        &self.model
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Clones the central model for distribution to a local agent.
+    /// Number of ingest shards of the backing model service.
     #[must_use]
-    pub fn snapshot(&self) -> LinUcb {
-        self.model.clone()
+    pub fn ingest_shards(&self) -> usize {
+        self.service.shards()
     }
 
-    /// Folds one shuffled batch into the central model.
+    /// The current central model, assembled from the ingest shards.
+    ///
+    /// Borrows from the epoch's cached snapshot; the first call per epoch
+    /// pays one assembly, subsequent calls are free.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal model-service failures (never triggered by
+    /// malformed reports, which are rejected before dispatch).
+    pub fn model(&mut self) -> Result<&LinUcb, CoreError> {
+        self.refresh_snapshot()?;
+        Ok(self
+            .cached
+            .as_ref()
+            .expect("refresh_snapshot populates the cache")
+            .model())
+    }
+
+    /// The epoch-versioned snapshot of the central model, shared behind an
+    /// `Arc`: every warm start within one epoch receives a pointer to the
+    /// same allocation instead of its own copy of the model.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal model-service failures.
+    pub fn snapshot(&mut self) -> Result<Arc<ModelSnapshot>, CoreError> {
+        self.refresh_snapshot()?;
+        Ok(Arc::clone(
+            self.cached
+                .as_ref()
+                .expect("refresh_snapshot populates the cache"),
+        ))
+    }
+
+    fn refresh_snapshot(&mut self) -> Result<(), CoreError> {
+        if self.cached.is_none() {
+            let model = self.service.assemble()?;
+            self.cached = Some(Arc::new(ModelSnapshot::new(self.epoch, model)));
+        }
+        Ok(())
+    }
+
+    /// Marks the model state changed: bump the epoch, invalidate the cached
+    /// snapshot.
+    fn mark_updated(&mut self, accepted: u64) {
+        if accepted > 0 {
+            self.ingested_reports += accepted;
+            self.epoch += 1;
+            self.cached = None;
+        }
+    }
+
+    /// Folds one shuffled batch into the central model, one report at a time
+    /// in batch order, memoizing the code→vector lookup per batch.
     ///
     /// Reports whose code or action fall outside the configured ranges are
     /// counted as rejected rather than aborting the whole batch: in a
@@ -78,22 +160,49 @@ impl CentralServer {
     /// Returns [`CoreError::Bandit`]/[`CoreError::Linalg`] only for internal
     /// model failures, not for malformed reports.
     pub fn ingest_batch(&mut self, batch: &ShuffledBatch) -> Result<u64, CoreError> {
-        let mut accepted = 0u64;
+        let mut cache = CodeVectorCache::default();
+        let mut updates = Vec::with_capacity(batch.reports().len());
         for report in batch.reports() {
-            if report.code() >= self.encoder.num_codes()
-                || report.action() >= self.model.num_actions()
-            {
+            if report.code() >= self.encoder.num_codes() || report.action() >= self.num_actions {
                 continue;
             }
-            let context = self
-                .representation
-                .vector(self.encoder.as_ref(), ContextCode::new(report.code()))?;
-            self.model
-                .update(&context, Action::new(report.action()), report.reward())?;
-            accepted += 1;
+            let context = cache
+                .get(self.representation, self.encoder.as_ref(), report.code())?
+                .clone();
+            updates.push(
+                CoalescedUpdate::new(context, Action::new(report.action()), 1, report.reward())
+                    .map_err(CoreError::Bandit)?,
+            );
         }
-        self.ingested_reports += accepted;
+        let accepted = updates.len() as u64;
+        self.service.ingest(updates)?;
+        self.mark_updated(accepted);
         Ok(accepted)
+    }
+
+    /// Folds one shuffled batch into the central model as coalesced
+    /// sufficient statistics: the batch is grouped by `(code, action)` and
+    /// each group becomes a single weighted update, so a batch with heavy
+    /// code reuse costs a fraction of the per-report path.
+    ///
+    /// Accepts and rejects exactly the same reports as
+    /// [`CentralServer::ingest_batch`] and produces the same model up to
+    /// floating-point rounding. Returns the number of accepted reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Bandit`]/[`CoreError::Linalg`] only for internal
+    /// model failures, not for malformed reports.
+    pub fn ingest_batch_coalesced(&mut self, batch: &ShuffledBatch) -> Result<u64, CoreError> {
+        let coalesced = coalesce_batch(
+            self.representation,
+            self.encoder.as_ref(),
+            self.num_actions,
+            batch,
+        )?;
+        self.service.ingest(coalesced.updates)?;
+        self.mark_updated(coalesced.accepted);
+        Ok(coalesced.accepted)
     }
 
     /// Folds a raw (non-encoded) interaction into the central model — the
@@ -116,19 +225,48 @@ impl CentralServer {
                 message: "raw ingestion requires the centroid representation".to_owned(),
             });
         }
-        self.model.update(context, action, reward)?;
-        self.ingested_reports += 1;
+        if context.len() != self.model_dimension {
+            return Err(CoreError::Bandit(
+                p2b_bandit::BanditError::ContextDimensionMismatch {
+                    expected: self.model_dimension,
+                    found: context.len(),
+                },
+            ));
+        }
+        if action.index() >= self.num_actions {
+            return Err(CoreError::Bandit(p2b_bandit::BanditError::InvalidAction {
+                action: action.index(),
+                num_actions: self.num_actions,
+            }));
+        }
+        let update =
+            CoalescedUpdate::new(context.clone(), action, 1, reward).map_err(CoreError::Bandit)?;
+        self.service.ingest(vec![update])?;
+        self.mark_updated(1);
         Ok(())
+    }
+}
+
+impl fmt::Debug for CentralServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralServer")
+            .field("service", &self.service)
+            .field("representation", &self.representation)
+            .field("ingested_reports", &self.ingested_reports)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2b_encoding::{KMeansConfig, KMeansEncoder};
+    use p2b_bandit::ContextualPolicy;
+    use p2b_encoding::{ContextCode, EncoderStats, EncodingError, KMeansConfig, KMeansEncoder};
     use p2b_shuffler::{EncodedReport, RawReport, Shuffler, ShufflerConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn encoder(seed: u64) -> Arc<dyn Encoder> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -175,7 +313,7 @@ mod tests {
         let accepted = server.ingest_batch(&b).unwrap();
         assert_eq!(accepted, 3);
         assert_eq!(server.ingested_reports(), 3);
-        assert_eq!(server.model().observations(), 3);
+        assert_eq!(server.model().unwrap().observations(), 3);
     }
 
     #[test]
@@ -186,7 +324,12 @@ mod tests {
         let b = batch(vec![(99, 0, 1.0), (0, 7, 1.0), (0, 0, 1.0)], 1, 3);
         let accepted = server.ingest_batch(&b).unwrap();
         assert_eq!(accepted, 1);
-        assert_eq!(server.model().observations(), 1);
+        assert_eq!(server.model().unwrap().observations(), 1);
+
+        // The coalesced path applies the same acceptance rule.
+        let b = batch(vec![(99, 0, 1.0), (0, 7, 1.0), (0, 0, 1.0)], 1, 3);
+        assert_eq!(server.ingest_batch_coalesced(&b).unwrap(), 1);
+        assert_eq!(server.ingested_reports(), 2);
     }
 
     #[test]
@@ -198,10 +341,124 @@ mod tests {
         let reports = (0..50).map(|_| (0usize, 1usize, 1.0)).collect::<Vec<_>>();
         server.ingest_batch(&batch(reports, 1, 4)).unwrap();
 
-        let snapshot = server.snapshot();
+        let snapshot = server.snapshot().unwrap();
         let ctx = enc.representative(ContextCode::new(0)).unwrap();
-        let scores = snapshot.scores(&ctx).unwrap();
+        let scores = snapshot.model().scores(&ctx).unwrap();
         assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn snapshots_are_shared_within_an_epoch_and_replaced_across_epochs() {
+        let cfg = P2bConfig::new(4, 2);
+        let mut server = CentralServer::new(&cfg, encoder(6)).unwrap();
+        assert_eq!(server.epoch(), 0);
+
+        let first = server.snapshot().unwrap();
+        let again = server.snapshot().unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "within an epoch the snapshot must be one shared allocation"
+        );
+        assert_eq!(first.epoch(), 0);
+
+        server
+            .ingest_batch(&batch(vec![(0, 0, 1.0), (1, 1, 0.5)], 1, 7))
+            .unwrap();
+        assert_eq!(server.epoch(), 1);
+        let bumped = server.snapshot().unwrap();
+        assert!(!Arc::ptr_eq(&first, &bumped));
+        assert_eq!(bumped.epoch(), 1);
+        assert_eq!(bumped.model().observations(), 2);
+
+        // A batch folding nothing keeps both the epoch and the snapshot.
+        server
+            .ingest_batch(&batch(vec![(99, 0, 1.0)], 1, 8))
+            .unwrap();
+        assert_eq!(server.epoch(), 1);
+        assert!(Arc::ptr_eq(&bumped, &server.snapshot().unwrap()));
+    }
+
+    #[test]
+    fn coalesced_and_sequential_ingestion_agree() {
+        let reports: Vec<(usize, usize, f64)> = (0..60)
+            .map(|i| (i % 3, i % 2, f64::from(u8::from(i % 4 == 0))))
+            .collect();
+        let cfg = P2bConfig::new(4, 2);
+        let mut sequential = CentralServer::new(&cfg, encoder(5)).unwrap();
+        let mut coalesced =
+            CentralServer::new(&cfg.clone().with_ingest_shards(2), encoder(5)).unwrap();
+        let b = batch(reports, 1, 9);
+        let a1 = sequential.ingest_batch(&b).unwrap();
+        let a2 = coalesced.ingest_batch_coalesced(&b).unwrap();
+        assert_eq!(a1, a2);
+        let ms = sequential.model().unwrap();
+        let mc = coalesced.model().unwrap();
+        assert_eq!(ms.observations(), mc.observations());
+        for action in 0..2 {
+            let action = Action::new(action);
+            assert!(
+                ms.design(action)
+                    .unwrap()
+                    .max_abs_diff(mc.design(action).unwrap())
+                    .unwrap()
+                    < 1e-9
+            );
+            let ts = ms.theta(action).unwrap();
+            let tc = mc.theta(action).unwrap();
+            for i in 0..4 {
+                assert!((ts[i] - tc[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Encoder wrapper counting `representative` calls, to pin the per-batch
+    /// memoization of the code→vector lookup.
+    #[derive(Debug)]
+    struct CountingEncoder {
+        inner: Arc<dyn Encoder>,
+        representative_calls: AtomicUsize,
+    }
+
+    impl Encoder for CountingEncoder {
+        fn num_codes(&self) -> usize {
+            self.inner.num_codes()
+        }
+        fn context_dimension(&self) -> usize {
+            self.inner.context_dimension()
+        }
+        fn encode(&self, context: &Vector) -> Result<ContextCode, EncodingError> {
+            self.inner.encode(context)
+        }
+        fn representative(&self, code: ContextCode) -> Result<Vector, EncodingError> {
+            self.representative_calls.fetch_add(1, Ordering::Relaxed);
+            self.inner.representative(code)
+        }
+        fn stats(&self) -> &EncoderStats {
+            self.inner.stats()
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn sequential_ingestion_memoizes_repeated_codes() {
+        let counting = Arc::new(CountingEncoder {
+            inner: encoder(4),
+            representative_calls: AtomicUsize::new(0),
+        });
+        let cfg = P2bConfig::new(4, 3);
+        let mut server =
+            CentralServer::new(&cfg, Arc::clone(&counting) as Arc<dyn Encoder>).unwrap();
+        // 30 reports over exactly 2 distinct codes.
+        let reports: Vec<(usize, usize, f64)> = (0..30).map(|i| (i % 2, i % 3, 1.0)).collect();
+        let accepted = server.ingest_batch(&batch(reports, 1, 10)).unwrap();
+        assert_eq!(accepted, 30);
+        assert_eq!(
+            counting.representative_calls.load(Ordering::Relaxed),
+            2,
+            "the context vector must be computed once per distinct code, not per report"
+        );
     }
 
     #[test]
@@ -211,6 +468,13 @@ mod tests {
         let mut server = CentralServer::new(&centroid_cfg, Arc::clone(&enc)).unwrap();
         let ctx = Vector::filled(4, 0.25);
         assert!(server.ingest_raw(&ctx, Action::new(0), 1.0).is_ok());
+        // Validation happens before dispatch: bad dimension, action, reward.
+        assert!(server
+            .ingest_raw(&Vector::zeros(7), Action::new(0), 1.0)
+            .is_err());
+        assert!(server.ingest_raw(&ctx, Action::new(9), 1.0).is_err());
+        assert!(server.ingest_raw(&ctx, Action::new(0), 1.5).is_err());
+        assert_eq!(server.ingested_reports(), 1);
 
         let onehot_cfg = P2bConfig::new(4, 2).with_code_representation(CodeRepresentation::OneHot);
         let mut server = CentralServer::new(&onehot_cfg, enc).unwrap();
@@ -221,10 +485,17 @@ mod tests {
     fn onehot_representation_sizes_the_model_by_code_count() {
         let enc = encoder(5);
         let cfg = P2bConfig::new(4, 2).with_code_representation(CodeRepresentation::OneHot);
-        let server = CentralServer::new(&cfg, enc).unwrap();
-        assert_eq!(server.model().context_dimension(), 4); // k = 4 codes
+        let mut server = CentralServer::new(&cfg, enc).unwrap();
+        assert_eq!(server.model().unwrap().context_dimension(), 4); // k = 4 codes
         let cfg = P2bConfig::new(4, 2);
-        let server = CentralServer::new(&cfg, encoder(5)).unwrap();
-        assert_eq!(server.model().context_dimension(), 4); // d = 4
+        let mut server = CentralServer::new(&cfg, encoder(5)).unwrap();
+        assert_eq!(server.model().unwrap().context_dimension(), 4); // d = 4
+    }
+
+    #[test]
+    fn ingest_shards_follow_the_configuration() {
+        let cfg = P2bConfig::new(4, 3).with_ingest_shards(3);
+        let server = CentralServer::new(&cfg, encoder(1)).unwrap();
+        assert_eq!(server.ingest_shards(), 3);
     }
 }

@@ -1,6 +1,6 @@
 //! End-to-end wiring of the P2B pipeline.
 
-use crate::{CentralServer, CoreError, LocalAgent, P2bConfig};
+use crate::{CentralServer, CoreError, LocalAgent, ModelSnapshot, P2bConfig};
 use p2b_encoding::Encoder;
 use p2b_privacy::{
     amplified_delta, amplified_epsilon, AmplificationLedger, CrowdBlending, PrivacyGuarantee,
@@ -94,27 +94,45 @@ impl P2bSystem {
         &self.server
     }
 
+    /// Mutably borrows the central server, e.g. to assemble the current
+    /// model ([`CentralServer::model`]) or publish a snapshot.
+    pub fn server_mut(&mut self) -> &mut CentralServer {
+        &mut self.server
+    }
+
+    /// The epoch-versioned snapshot of the central model that new warm
+    /// agents are pointed at.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal model-service failures.
+    pub fn central_snapshot(&mut self) -> Result<Arc<ModelSnapshot>, CoreError> {
+        self.server.snapshot()
+    }
+
     /// Number of reports waiting for the next shuffling round.
     #[must_use]
     pub fn pending_reports(&self) -> usize {
         self.pending.len()
     }
 
-    /// Creates a *warm* local agent: a fresh policy with the current central
-    /// model merged in.
+    /// Creates a *warm* local agent pointed at the current epoch's shared
+    /// central-model snapshot.
+    ///
+    /// Every agent created within one epoch shares the same
+    /// [`ModelSnapshot`] allocation — warm starts no longer copy or merge
+    /// the model; the agent clones it copy-on-write only when it folds its
+    /// first local observation.
     ///
     /// # Errors
     ///
-    /// Propagates agent-construction errors.
+    /// Propagates agent-construction errors and internal model-service
+    /// failures.
     pub fn make_agent<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> Result<LocalAgent, CoreError> {
         let id = self.next_agent_id;
         self.next_agent_id += 1;
-        LocalAgent::new(
-            id,
-            &self.config,
-            Arc::clone(&self.encoder),
-            Some(self.server.model()),
-        )
+        let snapshot = self.server.snapshot()?;
+        LocalAgent::new(id, &self.config, Arc::clone(&self.encoder), Some(snapshot))
     }
 
     /// Creates a *cold* local agent that never receives the central model —
@@ -198,13 +216,17 @@ impl P2bSystem {
         Ok(engine.spawn(seed))
     }
 
-    /// Folds one engine-delivered batch into the central model.
+    /// Folds one engine-delivered batch into the central model through the
+    /// coalescing ingester: the batch is grouped by `(code, action)` and
+    /// dispatched to the model service's ingest shards as weighted
+    /// sufficient-statistics updates, so a batch of `N` reports over `K`
+    /// distinct pairs costs `K` matrix updates instead of `N`.
     ///
     /// # Errors
     ///
     /// Propagates server-side model errors.
     pub fn ingest_engine_batch(&mut self, batch: &EngineBatch) -> Result<RoundStats, CoreError> {
-        let accepted = self.server.ingest_batch(&batch.batch)?;
+        let accepted = self.server.ingest_batch_coalesced(&batch.batch)?;
         Ok(RoundStats::from_batch(batch.batch.stats(), accepted))
     }
 
@@ -335,7 +357,7 @@ mod tests {
         assert_eq!(stats.received, stats.released + stats.dropped);
         assert!(stats.accepted > 0);
         assert_eq!(system.server().ingested_reports(), stats.accepted);
-        assert!(system.server().model().observations() > 0);
+        assert!(system.server_mut().model().unwrap().observations() > 0);
         assert_eq!(system.pending_reports(), 0);
     }
 
@@ -468,7 +490,7 @@ mod tests {
             assert_eq!(s.received, s.released + s.dropped);
         }
         assert_eq!(system.server().ingested_reports(), accepted);
-        assert!(system.server().model().observations() > 0);
+        assert!(system.server_mut().model().unwrap().observations() > 0);
         // Every batch was recorded in the ledger with the headline ε.
         assert_eq!(ledger.records().len(), stats.len());
         assert!((ledger.per_report_epsilon() - std::f64::consts::LN_2).abs() < 1e-12);
@@ -508,5 +530,85 @@ mod tests {
         let mut config = P2bConfig::new(4, 3).with_local_interactions(1);
         config.shuffler_batch_size = 0;
         assert!(P2bSystem::new(config, encoder(0)).is_err());
+    }
+
+    #[test]
+    fn warm_starts_share_one_snapshot_allocation_per_epoch() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut system = system(1);
+
+        // Two agents created in the same epoch point at the SAME snapshot —
+        // the warm start copies a pointer, not the model.
+        let a = system.make_agent(&mut rng).unwrap();
+        let b = system.make_agent(&mut rng).unwrap();
+        let snap_a = a.warm_snapshot().expect("warm agent starts shared");
+        let snap_b = b.warm_snapshot().expect("warm agent starts shared");
+        assert!(
+            Arc::ptr_eq(snap_a, snap_b),
+            "same-epoch warm starts must share one model allocation"
+        );
+        assert_eq!(snap_a.epoch(), 0);
+        assert!(Arc::ptr_eq(&system.central_snapshot().unwrap(), snap_a));
+
+        // An ingestion round bumps the epoch; later agents get a new
+        // snapshot while earlier ones keep reading their epoch's model.
+        let mut teacher = system.make_agent(&mut rng).unwrap();
+        let ctx = Vector::from(vec![1.0, 0.1, 0.1, 0.1])
+            .normalized_l1()
+            .unwrap();
+        for _ in 0..8 {
+            let action = teacher.select_action(&ctx, &mut rng).unwrap();
+            teacher.observe_reward(&ctx, action, 1.0, &mut rng).unwrap();
+        }
+        system.collect_from(&mut teacher);
+        let stats = system.flush_round(&mut rng).unwrap();
+        assert!(stats.accepted > 0);
+
+        let c = system.make_agent(&mut rng).unwrap();
+        let snap_c = c.warm_snapshot().expect("warm agent starts shared");
+        assert!(!Arc::ptr_eq(snap_a, snap_c));
+        assert_eq!(snap_c.epoch(), 1);
+        assert_eq!(
+            snap_c.model().observations(),
+            system.server().ingested_reports()
+        );
+        // A cold agent never holds a snapshot.
+        assert!(system.make_cold_agent().unwrap().warm_snapshot().is_none());
+    }
+
+    #[test]
+    fn multi_shard_ingest_matches_single_shard_bit_for_bit() {
+        // The ingest-shard count must not change the served model: each arm
+        // is owned by exactly one shard and updated in submission order.
+        let run = |ingest_shards: usize| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let config = P2bConfig::new(4, 3)
+                .with_local_interactions(1)
+                .with_shuffler_threshold(2)
+                .with_ingest_shards(ingest_shards);
+            let mut system = P2bSystem::new(config, encoder(0)).unwrap();
+            let reports = gather_reports(&mut system, &mut rng, 30);
+            let (stats, _) = system.streaming_round(reports, 5).unwrap();
+            let model = system.server_mut().model().unwrap().clone();
+            (stats, model)
+        };
+        let (stats_one, model_one) = run(1);
+        for shards in [2usize, 4] {
+            let (stats, model) = run(shards);
+            assert_eq!(stats, stats_one, "round stats drifted at {shards} shards");
+            for action in 0..3 {
+                let action = p2b_bandit::Action::new(action);
+                assert_eq!(
+                    model.design(action).unwrap(),
+                    model_one.design(action).unwrap(),
+                    "design drifted at {shards} ingest shards"
+                );
+                assert_eq!(
+                    model.reward_vector(action).unwrap(),
+                    model_one.reward_vector(action).unwrap()
+                );
+            }
+            assert_eq!(model.observations(), model_one.observations());
+        }
     }
 }

@@ -32,12 +32,15 @@ use crate::{
     ScenarioShape,
 };
 use p2b_encoding::{ContextCode, Encoder, KMeansConfig, KMeansEncoder};
+use p2b_linalg::Vector;
 use p2b_privacy::{AmplificationLedger, Participation, RandomizedResponse};
 use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerEngine};
 use p2b_sim::parallel_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// Configuration of one matrix run: the three axes plus the shared workload,
 /// privacy and accounting knobs.
@@ -631,6 +634,14 @@ fn point(round: u64, cumulative_reward: f64, cumulative_regret: f64) -> RoundPoi
 /// folds every released report into the central policy (as the representative
 /// context of its code) and merges the engine's per-batch (ε, δ) records into
 /// the cell ledger. Returns the number of released reports.
+///
+/// The representative context is memoized per flush, mirroring the central
+/// model service's coalescing ingester (`p2b_core`): codes repeat heavily
+/// within a released batch, so the encoder lookup runs once per distinct
+/// code instead of once per report. (The per-report *update* order is kept —
+/// `AnyPolicy` is policy-agnostic and not every policy folds coalesced
+/// sufficient statistics — so cell results are byte-identical to the
+/// pre-memoization harness.)
 fn flush_through_engine(
     config: &MatrixConfig,
     seed: u64,
@@ -650,11 +661,17 @@ fn flush_through_engine(
     }
     let output = handle.finish();
     let mut released = 0u64;
+    let mut representatives: HashMap<usize, Vector> = HashMap::new();
     for batch in &output.batches {
         for report in batch.batch.reports() {
-            let representative = encoder.representative(ContextCode::new(report.code()))?;
+            let representative = match representatives.entry(report.code()) {
+                Entry::Occupied(entry) => entry.into_mut(),
+                Entry::Vacant(entry) => {
+                    entry.insert(encoder.representative(ContextCode::new(report.code()))?)
+                }
+            };
             central.update(
-                &representative,
+                representative,
                 p2b_bandit::Action::new(report.action()),
                 report.reward(),
             )?;

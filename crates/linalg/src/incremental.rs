@@ -166,6 +166,78 @@ impl RankOneInverse {
         Ok(())
     }
 
+    /// Applies the weighted rank-1 update `A ← A + w·x xᵀ`, maintaining the
+    /// inverse through the weighted Sherman–Morrison identity
+    ///
+    /// ```text
+    /// (A + w x xᵀ)⁻¹ = A⁻¹ − w (A⁻¹ x)(A⁻¹ x)ᵀ / (1 + w xᵀ A⁻¹ x)
+    /// ```
+    ///
+    /// This is the coalesced-ingestion primitive: `w` identical contexts
+    /// fold into the design matrix in a single `O(d²)` operation instead of
+    /// `w` separate rank-1 updates. A weight of exactly `1.0` delegates to
+    /// [`RankOneInverse::update`], so the unweighted path stays bit-for-bit
+    /// identical. Each call counts as **one** update toward the refresh
+    /// interval, because one Sherman–Morrison application contributes one
+    /// step of floating-point drift regardless of its weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.dim()`
+    /// and [`LinalgError::InvalidScalar`] if `weight` is not a strictly
+    /// positive finite number.
+    pub fn update_weighted(&mut self, x: &Vector, weight: f64) -> Result<(), LinalgError> {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(LinalgError::InvalidScalar {
+                name: "weight",
+                value: weight,
+            });
+        }
+        if weight == 1.0 {
+            return self.update(x);
+        }
+        let ax = self.inverse.matvec(x)?;
+        let denom = 1.0 + weight * x.dot(&ax)?;
+        // denom = 1 + w·xᵀA⁻¹x > 0 for SPD A and w > 0: never a division by 0.
+        let n = self.dim();
+        for i in 0..n {
+            for j in 0..n {
+                let v = self.inverse.get(i, j) - weight * ax[i] * ax[j] / denom;
+                self.inverse.set(i, j, v);
+            }
+        }
+        self.design.add_outer_product(x, weight)?;
+        self.updates += 1;
+        if self.updates % self.refresh_interval == 0 {
+            self.refresh()?;
+        }
+        Ok(())
+    }
+
+    /// Applies a weighted rank-k update `A ← A + Σᵢ wᵢ·xᵢ xᵢᵀ` as a batch of
+    /// weighted Sherman–Morrison steps ([`RankOneInverse::update_weighted`]).
+    ///
+    /// The batch form exists so callers folding coalesced sufficient
+    /// statistics (one `(vector, weight)` pair per distinct context) express
+    /// the whole fold in one call; the cost is `O(k·d²)` for `k` pairs, with
+    /// `k` bounded by the number of *distinct* contexts rather than the
+    /// number of raw observations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing update; earlier pairs in the batch stay
+    /// applied (the tracked matrix remains valid — the identity holds after
+    /// every individual step).
+    pub fn update_batch_weighted<'a, I>(&mut self, pairs: I) -> Result<(), LinalgError>
+    where
+        I: IntoIterator<Item = (&'a Vector, f64)>,
+    {
+        for (x, weight) in pairs {
+            self.update_weighted(x, weight)?;
+        }
+        Ok(())
+    }
+
     /// Recomputes the inverse exactly from the accumulated design matrix.
     ///
     /// # Errors
@@ -329,5 +401,99 @@ mod tests {
     fn update_rejects_wrong_dimension() {
         let mut inc = RankOneInverse::identity(3, 1.0).unwrap();
         assert!(inc.update(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn weighted_update_rejects_invalid_weights() {
+        let mut inc = RankOneInverse::identity(2, 1.0).unwrap();
+        let x = Vector::from(vec![1.0, 0.5]);
+        assert!(matches!(
+            inc.update_weighted(&x, 0.0),
+            Err(LinalgError::InvalidScalar { .. })
+        ));
+        assert!(matches!(
+            inc.update_weighted(&x, -2.0),
+            Err(LinalgError::InvalidScalar { .. })
+        ));
+        assert!(matches!(
+            inc.update_weighted(&x, f64::NAN),
+            Err(LinalgError::InvalidScalar { .. })
+        ));
+        assert!(inc.update_weighted(&Vector::zeros(3), 2.0).is_err());
+    }
+
+    #[test]
+    fn unit_weight_is_bit_identical_to_the_plain_update() {
+        let xs = [
+            Vector::from(vec![1.0, 2.0, -0.5]),
+            Vector::from(vec![0.1, -0.3, 0.7]),
+            Vector::from(vec![2.0, 0.0, 1.0]),
+        ];
+        let mut plain = RankOneInverse::identity(3, 1.0).unwrap();
+        let mut weighted = RankOneInverse::identity(3, 1.0).unwrap();
+        for x in &xs {
+            plain.update(x).unwrap();
+            weighted.update_weighted(x, 1.0).unwrap();
+        }
+        assert_eq!(plain, weighted, "w = 1 must take the exact same code path");
+    }
+
+    #[test]
+    fn weighted_update_matches_repeated_updates() {
+        let x = Vector::from(vec![0.8, -0.2, 0.4]);
+        let mut repeated = RankOneInverse::identity(3, 2.0).unwrap();
+        for _ in 0..7 {
+            repeated.update(&x).unwrap();
+        }
+        let mut coalesced = RankOneInverse::identity(3, 2.0).unwrap();
+        coalesced.update_weighted(&x, 7.0).unwrap();
+
+        assert!(coalesced.design().max_abs_diff(repeated.design()).unwrap() < 1e-9);
+        assert!(
+            coalesced
+                .inverse()
+                .max_abs_diff(repeated.inverse())
+                .unwrap()
+                < 1e-9
+        );
+        // One Sherman–Morrison application = one drift step.
+        assert_eq!(coalesced.update_count(), 1);
+        assert_eq!(repeated.update_count(), 7);
+    }
+
+    #[test]
+    fn weighted_update_matches_direct_inverse() {
+        let mut inc = RankOneInverse::identity(3, 1.0).unwrap();
+        let mut a = Matrix::identity(3);
+        let pairs = [
+            (Vector::from(vec![1.0, 2.0, -0.5]), 3.0),
+            (Vector::from(vec![0.1, -0.3, 0.7]), 12.0),
+            (Vector::from(vec![2.0, 0.0, 1.0]), 0.5),
+        ];
+        inc.update_batch_weighted(pairs.iter().map(|(x, w)| (x, *w)))
+            .unwrap();
+        for (x, w) in &pairs {
+            a.add_outer_product(x, *w).unwrap();
+        }
+        let direct = Cholesky::new(&a).unwrap().inverse();
+        assert!(inc.inverse().max_abs_diff(&direct).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_updates_trigger_the_periodic_refresh() {
+        let mut inc = RankOneInverse::identity(2, 1.0).unwrap();
+        inc.set_refresh_interval(2);
+        for _ in 0..4 {
+            inc.update_weighted(&Vector::from(vec![1.0, 0.25]), 5.0)
+                .unwrap();
+        }
+        let mut expected = Matrix::identity(2);
+        expected
+            .add_outer_product(&Vector::from(vec![1.0, 0.25]), 20.0)
+            .unwrap();
+        assert!(inc.design().max_abs_diff(&expected).unwrap() < 1e-9);
+        // After the refresh the inverse is exact.
+        let direct = Cholesky::new(&expected).unwrap().inverse();
+        assert!(inc.inverse().max_abs_diff(&direct).unwrap() < 1e-9);
     }
 }

@@ -9,6 +9,13 @@
 //! straight into the [`p2b_shuffler::ShufflerEngine`] spawned from the
 //! system configuration, and the engine's merged, threshold-filtered batches
 //! are folded into the central model with per-batch (ε, δ) accounting.
+//!
+//! Model-side, every delivered batch goes through the coalescing ingester
+//! ([`p2b_core::P2bSystem::ingest_engine_batch`]): reports are grouped by
+//! `(code, action)` and dispatched to the model service's ingest shards
+//! ([`p2b_core::P2bConfig::ingest_shards`]) as weighted sufficient-statistics
+//! updates, and the agents created for the wave all share the epoch's
+//! central-model snapshot instead of merging their own copy.
 
 use crate::{parallel_map, SimError};
 use p2b_core::{P2bSystem, RoundStats};
@@ -230,7 +237,10 @@ mod tests {
             .with_local_interactions(2)
             .with_shuffler_threshold(threshold)
             .with_shuffler_shards(shards)
-            .with_shuffler_batch_size(32);
+            .with_shuffler_batch_size(32)
+            // Scale the model service together with the shuffler so the
+            // wave exercises the full sharded ingestion path.
+            .with_ingest_shards(shards);
         P2bSystem::new(config, encoder).unwrap()
     }
 

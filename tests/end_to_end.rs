@@ -152,7 +152,7 @@ fn onehot_representation_runs_end_to_end() {
         .with_local_interactions(2)
         .with_shuffler_threshold(2);
     let mut system = P2bSystem::new(config, encoder).unwrap();
-    assert_eq!(system.server().model().context_dimension(), 8);
+    assert_eq!(system.server_mut().model().unwrap().context_dimension(), 8);
 
     for _ in 0..30 {
         let mut agent = system.make_agent(&mut rng).unwrap();
