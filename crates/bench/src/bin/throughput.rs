@@ -20,18 +20,27 @@
 //! every released code appears at least `l` times by construction — and is
 //! exactly the regime the coalescing ingester exploits.
 //!
-//! Both parts are written to `BENCH_ingest.json` (reports/sec, batch sizes,
-//! shard counts) so CI can archive the numbers; the smoke configuration is
-//! selected with `P2B_SCALE=quick`. Run with:
+//! **Part 3 — agent-pool serving.** Drives a bounded
+//! [`p2b_core::AgentPool`] with a skewed context-code stream (80% of the
+//! traffic on 20% of the codes) at several residency budgets and storage
+//! shard counts, measuring checkout/interact/checkin throughput, eviction
+//! and rehydration rates, and the resident-model memory ceiling the budget
+//! enforces.
+//!
+//! Parts 1–2 are written to `BENCH_ingest.json`, part 3 to
+//! `BENCH_pool.json` (both machine-readable, both archived by CI); the
+//! smoke configuration is selected with `P2B_SCALE=quick`, and `--pool`
+//! runs only part 3. Run with:
 //!
 //! ```sh
 //! cargo run --release -p p2b-bench --bin throughput
 //! P2B_SCALE=full cargo run --release -p p2b-bench --bin throughput
+//! P2B_SCALE=quick cargo run --release -p p2b-bench --bin throughput -- --pool
 //! ```
 
 use p2b_bandit::ContextualPolicy;
 use p2b_bench::Scale;
-use p2b_core::{CentralServer, P2bConfig};
+use p2b_core::{AgentPool, AgentPoolConfig, CentralServer, P2bConfig, P2bSystem};
 use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder};
 use p2b_linalg::Vector;
 use p2b_shuffler::{
@@ -225,8 +234,207 @@ fn run_ingest(mode: &IngestMode, encoder: &Arc<dyn Encoder>, batches: &[Shuffled
     wall
 }
 
+/// One measured pool configuration, serialized into `BENCH_pool.json`.
+#[derive(Debug, Serialize)]
+struct PoolBenchRecord {
+    /// `"bounded"` or `"unbounded"`.
+    mode: String,
+    /// Residency budget (0 = unbounded).
+    budget: usize,
+    shards: usize,
+    ops: usize,
+    wall_secs: f64,
+    ops_per_sec: f64,
+    evictions: u64,
+    rehydrations: u64,
+    hit_rate: f64,
+    max_resident: usize,
+    /// Peak approximate bytes of model state owned by resident agents.
+    peak_resident_model_bytes: usize,
+    /// Speedup over the unbounded single-shard baseline.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PoolBenchOutput {
+    scale: String,
+    hardware_threads: usize,
+    codes: usize,
+    hot_fraction: f64,
+    records: Vec<PoolBenchRecord>,
+}
+
+/// A skewed key stream: `hot_share` of the traffic lands on the first
+/// `hot_fraction` of the code space — the regime where a small residency
+/// budget still serves most checkouts warm.
+fn pool_key_stream(ops: usize, codes: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let hot_codes = (codes / 5).max(1);
+    (0..ops)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.8 {
+                rng.gen_range(0..hot_codes) as u64
+            } else {
+                rng.gen_range(hot_codes..codes) as u64
+            }
+        })
+        .collect()
+}
+
+fn pool_system() -> P2bSystem {
+    let config = P2bConfig::new(DIMENSION, ACTIONS).with_local_interactions(4);
+    P2bSystem::new(config, fit_encoder()).expect("static configuration is valid")
+}
+
+struct PoolRun {
+    wall_secs: f64,
+    evictions: u64,
+    rehydrations: u64,
+    hit_rate: f64,
+    max_resident: usize,
+    peak_bytes: usize,
+}
+
+/// Drives one pool configuration over the key stream: every operation is a
+/// checkout + selection + local reward fold + checkin; reports funneled
+/// through the pool are drained (and dropped) every 1024 operations, like a
+/// serving loop handing them to the shuffler engine.
+fn run_pool(budget: Option<usize>, shards: usize, keys: &[u64]) -> PoolRun {
+    let mut system = pool_system();
+    let mut pool = AgentPool::new(AgentPoolConfig {
+        max_resident_agents: budget,
+        shards,
+    })
+    .expect("static configuration is valid");
+    let mut rng = StdRng::seed_from_u64(23);
+    let context = Vector::filled(DIMENSION, 1.0 / DIMENSION as f64);
+    let mut max_resident = 0usize;
+    let mut peak_bytes = 0usize;
+    let start = Instant::now();
+    for (i, &key) in keys.iter().enumerate() {
+        pool.with_agent(&mut system, key, |agent| {
+            let action = agent.select_action(&context, &mut rng)?;
+            agent.observe_reward(&context, action, 1.0, &mut rng)
+        })
+        .expect("pool operations succeed");
+        if i % 1024 == 0 {
+            max_resident = max_resident.max(pool.resident_agents());
+            peak_bytes = peak_bytes.max(pool.approx_model_bytes().0);
+            let _ = pool.drain_reports();
+        }
+    }
+    max_resident = max_resident.max(pool.resident_agents());
+    peak_bytes = peak_bytes.max(pool.approx_model_bytes().0);
+    let wall_secs = start.elapsed().as_secs_f64();
+    if let Some(budget) = budget {
+        assert!(
+            max_resident <= budget,
+            "memory ceiling violated: {max_resident} resident > budget {budget}"
+        );
+    }
+    let stats = pool.stats();
+    PoolRun {
+        wall_secs,
+        evictions: stats.evictions,
+        rehydrations: stats.rehydrations,
+        hit_rate: stats.hits as f64 / (stats.hits + stats.misses()).max(1) as f64,
+        max_resident,
+        peak_bytes,
+    }
+}
+
+fn run_pool_part(scale: Scale, cores: usize) {
+    let ops = scale.pick(20_000, 100_000, 400_000);
+    let keys = pool_key_stream(ops, CODES);
+    println!("\nBounded-memory agent pool: checkout/interact/checkin throughput");
+    println!(
+        "{ops} operations over {CODES} context codes (80% of traffic on 20% of codes), \
+         d = {DIMENSION}, {ACTIONS} actions"
+    );
+    println!(
+        "\n{:>10} {:>7} {:>7} {:>10} {:>12} {:>9} {:>8} {:>9} {:>12} {:>8}",
+        "mode",
+        "budget",
+        "shards",
+        "wall (ms)",
+        "ops/s",
+        "evict",
+        "rehydr",
+        "hit rate",
+        "peak bytes",
+        "speedup"
+    );
+    let mut records = Vec::new();
+    let mut baseline = None;
+    let configurations: [(Option<usize>, usize); 7] = [
+        (None, 1),
+        (None, 4),
+        (Some(CODES / 2), 1),
+        (Some(CODES / 8), 1),
+        (Some(CODES / 8), 2),
+        (Some(CODES / 8), 4),
+        (Some(4), 1),
+    ];
+    for (budget, shards) in configurations {
+        let run = run_pool(budget, shards, &keys);
+        let rate = ops as f64 / run.wall_secs;
+        let baseline_rate = *baseline.get_or_insert(rate);
+        let speedup = rate / baseline_rate;
+        let mode = if budget.is_some() {
+            "bounded"
+        } else {
+            "unbounded"
+        };
+        println!(
+            "{:>10} {:>7} {:>7} {:>10.1} {:>12.0} {:>9} {:>8} {:>8.1}% {:>12} {:>7.2}x",
+            mode,
+            budget.unwrap_or(0),
+            shards,
+            run.wall_secs * 1e3,
+            rate,
+            run.evictions,
+            run.rehydrations,
+            run.hit_rate * 100.0,
+            run.peak_bytes,
+            speedup
+        );
+        records.push(PoolBenchRecord {
+            mode: mode.to_owned(),
+            budget: budget.unwrap_or(0),
+            shards,
+            ops,
+            wall_secs: run.wall_secs,
+            ops_per_sec: rate,
+            evictions: run.evictions,
+            rehydrations: run.rehydrations,
+            hit_rate: run.hit_rate,
+            max_resident: run.max_resident,
+            peak_resident_model_bytes: run.peak_bytes,
+            speedup,
+        });
+    }
+    let output = PoolBenchOutput {
+        scale: format!("{scale:?}").to_lowercase(),
+        hardware_threads: cores,
+        codes: CODES,
+        hot_fraction: 0.2,
+        records,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("records serialize");
+    std::fs::write("BENCH_pool.json", json).expect("benchmark artifact is writable");
+    println!("machine-readable results written to BENCH_pool.json");
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let pool_only = std::env::args().any(|a| a == "--pool");
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if pool_only {
+        run_pool_part(scale, cores);
+        return;
+    }
     let mut records = Vec::new();
 
     // ── Part 1: shuffler-engine shard scaling ────────────────────────────
@@ -234,9 +442,6 @@ fn main() {
     let batch_size = scale.pick(1_024, 4_096, 8_192);
     let total = per_producer * PRODUCERS;
 
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     println!("Sharded shuffler engine throughput");
     println!(
         "{total} reports, {PRODUCERS} producers, batch size {batch_size}, \
@@ -368,4 +573,7 @@ fn main() {
     let json = serde_json::to_string_pretty(&output).expect("records serialize");
     std::fs::write("BENCH_ingest.json", json).expect("benchmark artifact is writable");
     println!("machine-readable results written to BENCH_ingest.json");
+
+    // ── Part 3: bounded-memory agent-pool serving ────────────────────────
+    run_pool_part(scale, cores);
 }

@@ -50,6 +50,77 @@ fn check_snapshot_shape(
     Ok(())
 }
 
+/// The policy portion of a dormant (evicted) agent.
+///
+/// A still-shared agent persists **nothing** — its policy was a pointer into
+/// the epoch's shared snapshot, so rehydration just points it at the current
+/// snapshot (the same refresh it would have received on its next checkout).
+/// An owned agent persists its full local policy; in a production deployment
+/// this is the state written back to device/disk storage, here it lives in
+/// the pool's dormant tier.
+#[derive(Debug, Clone)]
+enum DormantPolicy {
+    /// The agent never folded a local observation; no model bytes persist.
+    Shared,
+    /// The agent's private policy, local observations included.
+    Owned(LinUcb),
+}
+
+/// The compact persisted form of an evicted [`LocalAgent`]: everything a
+/// bit-identical rehydration needs (reporter phase, privacy ledger, owned
+/// policy if any) and nothing it does not (shared snapshots are re-acquired
+/// from the current epoch).
+///
+/// Produced by [`LocalAgent::dehydrate`], consumed by
+/// [`LocalAgent::rehydrate`]; the [`crate::AgentPool`] moves agents through
+/// this form on eviction.
+#[derive(Debug, Clone)]
+pub struct DormantAgent {
+    id: u64,
+    interactions: u64,
+    reporter: RandomizedReporter,
+    accountant: PrivacyAccountant,
+    per_report_guarantee: PrivacyGuarantee,
+    representation: CodeRepresentation,
+    /// Action count of the policy the agent was serving — checked against
+    /// the snapshot on shared rehydration, exactly like a fresh warm start.
+    num_actions: usize,
+    policy: DormantPolicy,
+}
+
+impl DormantAgent {
+    /// The dehydrated agent's identifier.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the dormant agent carries an owned policy (local
+    /// observations) rather than rehydrating from the shared snapshot.
+    #[must_use]
+    pub fn has_local_state(&self) -> bool {
+        matches!(self.policy, DormantPolicy::Owned(_))
+    }
+
+    /// Approximate heap bytes of the persisted policy state: zero for a
+    /// still-shared agent, the LinUCB sufficient statistics otherwise.
+    #[must_use]
+    pub fn approx_model_bytes(&self) -> usize {
+        match &self.policy {
+            DormantPolicy::Shared => 0,
+            DormantPolicy::Owned(policy) => approx_linucb_bytes(policy),
+        }
+    }
+}
+
+/// Approximate heap footprint of a LinUCB policy: per action one `d × d`
+/// design matrix, its inverse, and two `d`-vectors of `f64`s.
+fn approx_linucb_bytes(policy: &LinUcb) -> usize {
+    let d = policy.config().context_dimension;
+    let actions = policy.config().num_actions;
+    actions * (2 * d * d + 2 * d) * std::mem::size_of::<f64>()
+}
+
 /// A local agent running on a (simulated) user device.
 ///
 /// The agent observes raw contexts, encodes them, feeds the encoded
@@ -266,6 +337,96 @@ impl LocalAgent {
         Ok(())
     }
 
+    /// Approximate heap bytes of model state this agent *owns*: zero while
+    /// it still reads through the shared snapshot, its private LinUCB
+    /// statistics once promoted. The pool's memory accounting sums this.
+    #[must_use]
+    pub fn approx_owned_model_bytes(&self) -> usize {
+        match &self.policy {
+            AgentPolicy::Shared(_) => 0,
+            AgentPolicy::Owned(policy) => approx_linucb_bytes(policy),
+        }
+    }
+
+    /// Tears the agent down into its compact persisted form, draining any
+    /// queued reports so eviction never strands them on the way to the
+    /// shuffler.
+    ///
+    /// The round trip `rehydrate(dehydrate(agent))` is *lossless for
+    /// behavior*: the rehydrated agent selects the same actions and flips
+    /// the same reporter coins as the original would have, which is what
+    /// makes a bounded [`crate::AgentPool`] equivalent to an unbounded one
+    /// (pinned by the `pool_equivalence` property suite).
+    #[must_use]
+    pub fn dehydrate(mut self) -> (Vec<RawReport>, DormantAgent) {
+        let reports = std::mem::take(&mut self.pending);
+        let num_actions = self.policy().config().num_actions;
+        let policy = match self.policy {
+            AgentPolicy::Shared(_) => DormantPolicy::Shared,
+            AgentPolicy::Owned(policy) => DormantPolicy::Owned(policy),
+        };
+        (
+            reports,
+            DormantAgent {
+                id: self.id,
+                interactions: self.interactions,
+                reporter: self.reporter,
+                accountant: self.accountant,
+                per_report_guarantee: self.per_report_guarantee,
+                representation: self.representation,
+                num_actions,
+                policy,
+            },
+        )
+    }
+
+    /// Rebuilds an agent from its dormant form. A still-shared agent is
+    /// pointed at `snapshot` (the current epoch); an agent with local state
+    /// gets its own policy back untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when a shared rehydration is
+    /// handed a snapshot whose model shape does not match the dormant
+    /// agent's representation under `encoder`.
+    pub fn rehydrate(
+        dormant: DormantAgent,
+        encoder: Arc<dyn Encoder>,
+        snapshot: &Arc<ModelSnapshot>,
+    ) -> Result<Self, CoreError> {
+        let policy = match dormant.policy {
+            DormantPolicy::Shared => {
+                let expected_dimension = dormant.representation.dimension(encoder.as_ref());
+                let found = snapshot.model().config();
+                if found.context_dimension != expected_dimension
+                    || found.num_actions != dormant.num_actions
+                {
+                    return Err(CoreError::InvalidConfig {
+                        parameter: "rehydrate",
+                        message: format!(
+                            "snapshot model shape ({}, {}) does not match the dormant agent's \
+                             ({expected_dimension}, {})",
+                            found.context_dimension, found.num_actions, dormant.num_actions
+                        ),
+                    });
+                }
+                AgentPolicy::Shared(Arc::clone(snapshot))
+            }
+            DormantPolicy::Owned(policy) => AgentPolicy::Owned(policy),
+        };
+        Ok(Self {
+            id: dormant.id,
+            policy,
+            encoder,
+            representation: dormant.representation,
+            reporter: dormant.reporter,
+            accountant: dormant.accountant,
+            per_report_guarantee: dormant.per_report_guarantee,
+            pending: Vec::new(),
+            interactions: dormant.interactions,
+        })
+    }
+
     /// Replaces a shared warm start with a newer central snapshot without
     /// copying: if the agent has no local observations yet, it simply points
     /// at the new epoch's snapshot.
@@ -348,6 +509,41 @@ mod tests {
             agent.warm_snapshot().is_some(),
             "failed refresh must not detach"
         );
+    }
+
+    #[test]
+    fn rehydration_rejects_mis_shaped_snapshots() {
+        let cfg = config(); // 4-dimensional contexts, 3 actions
+        let enc = encoder(11);
+        let good = Arc::new(crate::ModelSnapshot::new(
+            0,
+            LinUcb::new(cfg.central_linucb(enc.as_ref())).unwrap(),
+        ));
+        let agent = LocalAgent::new(9, &cfg, Arc::clone(&enc), Some(good)).unwrap();
+        let (_, dormant) = agent.dehydrate();
+        assert!(!dormant.has_local_state());
+        // Wrong action count and wrong dimension are both rejected, exactly
+        // like a fresh warm start would reject them.
+        for bad_model in [
+            LinUcb::new(p2b_bandit::LinUcbConfig::new(4, 5)).unwrap(),
+            LinUcb::new(p2b_bandit::LinUcbConfig::new(6, 3)).unwrap(),
+        ] {
+            let bad = Arc::new(crate::ModelSnapshot::new(1, bad_model));
+            assert!(matches!(
+                LocalAgent::rehydrate(dormant.clone(), Arc::clone(&enc), &bad),
+                Err(CoreError::InvalidConfig { .. })
+            ));
+        }
+        // A well-shaped snapshot rehydrates fine.
+        let fresh = Arc::new(crate::ModelSnapshot::new(
+            2,
+            LinUcb::new(cfg.central_linucb(enc.as_ref())).unwrap(),
+        ));
+        let revived = LocalAgent::rehydrate(dormant, Arc::clone(&enc), &fresh).unwrap();
+        assert!(revived
+            .warm_snapshot()
+            .is_some_and(|s| Arc::ptr_eq(s, &fresh)));
+        assert_eq!(revived.id(), 9);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Delayed-reward joining: decisions now, feedback later.
+//!
+//! In the paper's deployment story an agent proposes an action and the
+//! reward signal (a click, a conversion) arrives seconds to days later — or
+//! never. The [`RewardJoinBuffer`] is the serving-side primitive for that
+//! gap: every decision is recorded with a [`DecisionTicket`], rewards are
+//! joined to their ticket as they arrive, and decisions are *finalized* only
+//! when their join window closes.
+//!
+//! # Determinism contract
+//!
+//! The buffer is deliberately **arrival-order invariant**: a decision made
+//! at round `R` may be joined at any time while the current round is at most
+//! `R + max_delay`, and finalization happens exactly when the buffer
+//! advances past `R + max_delay` — always in ticket (decision) order, never
+//! in arrival order. Two executions whose rewards arrive in different orders
+//! (or at different rounds) within the window therefore release the *same*
+//! sequence of [`JoinedDecision`]s, which is what makes downstream model
+//! updates reproducible; the `join_order_invariance` property suite pins
+//! this. With `max_delay = 0` every decision finalizes at the end of the
+//! round it was made in — the synchronous behavior of the round-based
+//! harness.
+
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of one recorded decision, handed back by
+/// [`RewardJoinBuffer::record`] and used to join the reward later.
+///
+/// Tickets are issued in strictly increasing order, so ticket order is
+/// decision order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DecisionTicket(u64);
+
+impl DecisionTicket {
+    /// The raw monotone ticket value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A decision whose reward arrived within the join window, released when the
+/// window closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinedDecision<P> {
+    /// The ticket the decision was recorded under.
+    pub ticket: DecisionTicket,
+    /// The caller payload recorded with the decision (e.g. context, action).
+    pub payload: P,
+    /// The joined reward.
+    pub reward: f64,
+    /// Round the decision was made in.
+    pub decided_round: u64,
+    /// Round the reward arrived in.
+    pub joined_round: u64,
+}
+
+/// A decision whose reward never arrived within the join window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpiredDecision<P> {
+    /// The ticket the decision was recorded under.
+    pub ticket: DecisionTicket,
+    /// The caller payload recorded with the decision.
+    pub payload: P,
+    /// Round the decision was made in.
+    pub decided_round: u64,
+}
+
+/// Everything one round boundary finalized, each list in ticket order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinalizedRound<P> {
+    /// Decisions that received their reward within the window.
+    pub joined: Vec<JoinedDecision<P>>,
+    /// Decisions whose window closed without a reward.
+    pub expired: Vec<ExpiredDecision<P>>,
+}
+
+impl<P> FinalizedRound<P> {
+    fn empty() -> Self {
+        Self {
+            joined: Vec::new(),
+            expired: Vec::new(),
+        }
+    }
+}
+
+/// Counters describing the buffer's lifetime behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JoinStats {
+    /// Decisions recorded.
+    pub decisions: u64,
+    /// Decisions finalized with a joined reward.
+    pub joined: u64,
+    /// Decisions finalized without a reward.
+    pub expired: u64,
+    /// Reward arrivals rejected because their ticket was already finalized
+    /// (the reward came back too late) or never existed.
+    pub late_rewards: u64,
+}
+
+/// One decision waiting for its reward.
+#[derive(Debug, Clone)]
+struct Pending<P> {
+    payload: P,
+    decided_round: u64,
+    reward: Option<(f64, u64)>,
+}
+
+/// Buffers pending `(payload)` decisions and joins rewards arriving up to
+/// `max_delay` rounds later; see the module docs for the determinism
+/// contract.
+///
+/// # Example
+///
+/// ```
+/// use p2b_core::RewardJoinBuffer;
+///
+/// let mut buffer: RewardJoinBuffer<&'static str> = RewardJoinBuffer::new(1);
+/// let first = buffer.record("show-ad-3");
+/// let round = buffer.advance_round(); // window still open: nothing final
+/// assert!(round.joined.is_empty() && round.expired.is_empty());
+/// buffer.join(first, 1.0).unwrap(); // click arrives one round late
+/// let round = buffer.advance_round();
+/// assert_eq!(round.joined.len(), 1);
+/// assert_eq!(round.joined[0].payload, "show-ad-3");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RewardJoinBuffer<P> {
+    max_delay: u64,
+    round: u64,
+    next_ticket: u64,
+    pending: BTreeMap<u64, Pending<P>>,
+    stats: JoinStats,
+}
+
+impl<P> RewardJoinBuffer<P> {
+    /// Creates a buffer joining rewards that arrive at most `max_delay`
+    /// rounds after their decision.
+    #[must_use]
+    pub fn new(max_delay: u64) -> Self {
+        Self {
+            max_delay,
+            round: 0,
+            next_ticket: 0,
+            pending: BTreeMap::new(),
+            stats: JoinStats::default(),
+        }
+    }
+
+    /// The configured maximum join delay in rounds.
+    #[must_use]
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+
+    /// The current round index (starts at 0, bumped by
+    /// [`RewardJoinBuffer::advance_round`]).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of decisions currently awaiting finalization.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> &JoinStats {
+        &self.stats
+    }
+
+    /// Records a decision made in the current round and returns its ticket.
+    pub fn record(&mut self, payload: P) -> DecisionTicket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.stats.decisions += 1;
+        self.pending.insert(
+            ticket,
+            Pending {
+                payload,
+                decided_round: self.round,
+                reward: None,
+            },
+        );
+        DecisionTicket(ticket)
+    }
+
+    /// Joins a reward to a pending decision.
+    ///
+    /// Joining is idempotent-hostile by design: a second reward for the same
+    /// ticket is an error (a join bug upstream), while a reward for an
+    /// already-finalized or unknown ticket is *not* an error — production
+    /// reward streams deliver late and duplicate events, so those are
+    /// counted in [`JoinStats::late_rewards`] and dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the reward is not a finite
+    /// number in `[0, 1]` or the ticket already has a reward.
+    pub fn join(&mut self, ticket: DecisionTicket, reward: f64) -> Result<bool, CoreError> {
+        if !reward.is_finite() || !(0.0..=1.0).contains(&reward) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "reward",
+                message: format!("must be a finite number in [0, 1], got {reward}"),
+            });
+        }
+        match self.pending.get_mut(&ticket.0) {
+            Some(pending) => {
+                if pending.reward.is_some() {
+                    return Err(CoreError::InvalidConfig {
+                        parameter: "ticket",
+                        message: format!("ticket {} already has a joined reward", ticket.0),
+                    });
+                }
+                pending.reward = Some((reward, self.round));
+                Ok(true)
+            }
+            None => {
+                self.stats.late_rewards += 1;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Finalizes every decision whose window closed as of `up_to_round`:
+    /// decisions made at rounds `<= up_to_round - max_delay - 1`.
+    fn finalize_up_to(&mut self, next_round: u64) -> FinalizedRound<P> {
+        let mut finalized = FinalizedRound::empty();
+        // A decision made at round R is joinable while round <= R + max_delay,
+        // so it finalizes once the buffer advances to R + max_delay + 1.
+        let Some(cutoff) = next_round.checked_sub(self.max_delay + 1) else {
+            return finalized;
+        };
+        // Tickets are monotone in decision round, so the pending map (keyed
+        // by ticket) is scanned in decision order and the split point is the
+        // first ticket decided after the cutoff.
+        let keep = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.decided_round > cutoff)
+            .map(|(&ticket, _)| ticket);
+        let retained = match keep {
+            Some(ticket) => self.pending.split_off(&ticket),
+            None => BTreeMap::new(),
+        };
+        let closed = std::mem::replace(&mut self.pending, retained);
+        for (ticket, pending) in closed {
+            match pending.reward {
+                Some((reward, joined_round)) => {
+                    self.stats.joined += 1;
+                    finalized.joined.push(JoinedDecision {
+                        ticket: DecisionTicket(ticket),
+                        payload: pending.payload,
+                        reward,
+                        decided_round: pending.decided_round,
+                        joined_round,
+                    });
+                }
+                None => {
+                    self.stats.expired += 1;
+                    finalized.expired.push(ExpiredDecision {
+                        ticket: DecisionTicket(ticket),
+                        payload: pending.payload,
+                        decided_round: pending.decided_round,
+                    });
+                }
+            }
+        }
+        finalized
+    }
+
+    /// Closes the current round: bumps the round counter and finalizes every
+    /// decision whose join window has now closed, in ticket order.
+    pub fn advance_round(&mut self) -> FinalizedRound<P> {
+        self.round += 1;
+        self.finalize_up_to(self.round)
+    }
+
+    /// Finalizes *everything* still pending (end of stream): joined
+    /// decisions are released, unjoined ones expire, all in ticket order.
+    pub fn finish(&mut self) -> FinalizedRound<P> {
+        self.round += self.max_delay + 1;
+        self.finalize_up_to(self.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_delay_finalizes_at_the_same_round_boundary() {
+        let mut buffer: RewardJoinBuffer<u32> = RewardJoinBuffer::new(0);
+        let a = buffer.record(10);
+        let b = buffer.record(11);
+        assert!(buffer.join(b, 1.0).unwrap());
+        assert!(buffer.join(a, 0.0).unwrap());
+        let round = buffer.advance_round();
+        // Ticket order, not arrival order.
+        assert_eq!(round.joined.len(), 2);
+        assert_eq!(round.joined[0].payload, 10);
+        assert_eq!(round.joined[1].payload, 11);
+        assert!(round.expired.is_empty());
+        assert_eq!(buffer.pending(), 0);
+    }
+
+    #[test]
+    fn windows_hold_decisions_open_for_max_delay_rounds() {
+        let mut buffer: RewardJoinBuffer<u32> = RewardJoinBuffer::new(2);
+        let a = buffer.record(0);
+        assert!(buffer.advance_round().joined.is_empty()); // round 1
+        assert!(buffer.advance_round().joined.is_empty()); // round 2
+        assert!(buffer.join(a, 0.5).unwrap()); // arrives 2 rounds late: in window
+        let round = buffer.advance_round(); // round 3: window closed
+        assert_eq!(round.joined.len(), 1);
+        assert_eq!(round.joined[0].decided_round, 0);
+        assert_eq!(round.joined[0].joined_round, 2);
+    }
+
+    #[test]
+    fn unjoined_decisions_expire_and_late_rewards_are_counted() {
+        let mut buffer: RewardJoinBuffer<u32> = RewardJoinBuffer::new(1);
+        let a = buffer.record(7);
+        buffer.advance_round();
+        let round = buffer.advance_round();
+        assert_eq!(round.expired.len(), 1);
+        assert_eq!(round.expired[0].payload, 7);
+        // The reward shows up after the window closed: dropped, counted.
+        assert!(!buffer.join(a, 1.0).unwrap());
+        assert_eq!(buffer.stats().late_rewards, 1);
+        assert_eq!(buffer.stats().expired, 1);
+    }
+
+    #[test]
+    fn rejects_invalid_rewards_and_double_joins() {
+        let mut buffer: RewardJoinBuffer<u32> = RewardJoinBuffer::new(1);
+        let a = buffer.record(0);
+        assert!(buffer.join(a, f64::NAN).is_err());
+        assert!(buffer.join(a, 1.5).is_err());
+        assert!(buffer.join(a, 1.0).unwrap());
+        assert!(buffer.join(a, 1.0).is_err());
+    }
+
+    #[test]
+    fn finish_flushes_every_pending_decision() {
+        let mut buffer: RewardJoinBuffer<u32> = RewardJoinBuffer::new(5);
+        let a = buffer.record(1);
+        let _b = buffer.record(2);
+        assert!(buffer.join(a, 1.0).unwrap());
+        let last = buffer.finish();
+        assert_eq!(last.joined.len(), 1);
+        assert_eq!(last.expired.len(), 1);
+        assert_eq!(buffer.pending(), 0);
+        assert_eq!(buffer.stats().decisions, 2);
+    }
+
+    #[test]
+    fn release_is_invariant_to_arrival_order_and_round() {
+        // Two executions: rewards arrive in different orders at different
+        // rounds, all within the window. The finalized stream must match.
+        let run = |arrivals: &[(usize, u64, f64)]| {
+            // arrivals: (decision index, arrival round, reward)
+            let mut buffer: RewardJoinBuffer<usize> = RewardJoinBuffer::new(3);
+            let tickets: Vec<DecisionTicket> = (0..4).map(|i| buffer.record(i)).collect();
+            let mut released = Vec::new();
+            for round in 0..6u64 {
+                for &(idx, at, reward) in arrivals {
+                    if at == round {
+                        buffer.join(tickets[idx], reward).unwrap();
+                    }
+                }
+                released.extend(buffer.advance_round().joined);
+            }
+            released.extend(buffer.finish().joined);
+            released
+                .into_iter()
+                .map(|j| (j.payload, j.reward.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let in_order = run(&[(0, 0, 1.0), (1, 0, 0.5), (2, 1, 0.25), (3, 2, 0.0)]);
+        let shuffled = run(&[(3, 0, 0.0), (1, 2, 0.5), (0, 3, 1.0), (2, 2, 0.25)]);
+        assert_eq!(in_order, shuffled);
+    }
+}

@@ -69,14 +69,20 @@ mod agent;
 mod coalesce;
 mod config;
 mod error;
+mod join;
+mod pool;
 mod reporter;
 mod server;
 mod service;
 mod system;
 
-pub use agent::LocalAgent;
+pub use agent::{DormantAgent, LocalAgent};
 pub use config::{CodeRepresentation, P2bConfig};
 pub use error::CoreError;
+pub use join::{
+    DecisionTicket, ExpiredDecision, FinalizedRound, JoinStats, JoinedDecision, RewardJoinBuffer,
+};
+pub use pool::{AgentPool, AgentPoolConfig, PoolStats};
 pub use reporter::{PendingReport, RandomizedReporter};
 pub use server::CentralServer;
 pub use service::{ModelService, ModelSnapshot};

@@ -1,0 +1,574 @@
+//! Bounded-memory serving pool of warm local agents.
+//!
+//! The paper's deployment story (Fig. 2) is millions of devices
+//! warm-starting from one central model. A serving tier that simulates or
+//! fronts that population cannot keep every agent materialized: policies
+//! are `O(A·d²)` each, so residency must be bounded and cold agents must be
+//! evicted and rehydrated on demand. [`AgentPool`] is that tier:
+//!
+//! * **Keyed by context code** — one agent per encoded context bucket, the
+//!   granularity the central model is trained at.
+//! * **Bounded residency** — at most
+//!   [`AgentPoolConfig::max_resident_agents`] agents are held warm; the
+//!   least-recently-used resident is evicted when the budget is exceeded.
+//! * **Eviction persists deltas** — an evicted agent is
+//!   [dehydrated](crate::LocalAgent::dehydrate): its queued reports drain
+//!   into the pool outbox (the reporter path to the shuffler never loses
+//!   data) and its local policy state moves to the dormant tier.
+//! * **Rehydration from the current snapshot** — a dormant agent that never
+//!   folded a local observation costs *zero* persisted model bytes and is
+//!   rebuilt as a pointer into the current epoch's shared
+//!   [`crate::ModelSnapshot`]; agents with local observations get their
+//!   policy back untouched.
+//!
+//! Because dehydration is lossless for behavior, a bounded pool selects
+//! exactly the same actions as an unbounded one — the `pool_equivalence`
+//! property suite pins this for shard counts 1, 2 and 4.
+//!
+//! Storage is sharded by a splitmix of the key so that shard-local maps stay
+//! small under large code spaces; the LRU clock and budget are global, so
+//! the residency ceiling is exact at any shard count.
+
+use crate::{CoreError, LocalAgent, P2bSystem};
+use p2b_shuffler::{splitmix64, RawReport};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration of an [`AgentPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentPoolConfig {
+    /// Maximum number of resident (warm) agents; `None` means unbounded.
+    pub max_resident_agents: Option<usize>,
+    /// Number of storage shards keys are partitioned over.
+    pub shards: usize,
+}
+
+impl AgentPoolConfig {
+    /// An unbounded pool with a single storage shard.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            max_resident_agents: None,
+            shards: 1,
+        }
+    }
+
+    /// A pool holding at most `max_resident_agents` warm agents.
+    #[must_use]
+    pub fn bounded(max_resident_agents: usize) -> Self {
+        Self {
+            max_resident_agents: Some(max_resident_agents),
+            shards: 1,
+        }
+    }
+
+    /// Sets the number of storage shards.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.shards == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "shards",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.max_resident_agents == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "max_resident_agents",
+                message: "must be at least 1 (or None for unbounded)".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Lifetime counters of an [`AgentPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Checkouts served by a resident agent.
+    pub hits: u64,
+    /// Checkouts that rebuilt a dormant agent.
+    pub rehydrations: u64,
+    /// Checkouts that created a brand-new warm agent.
+    pub creations: u64,
+    /// Residents evicted to the dormant tier.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Checkouts not served by a resident agent.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.rehydrations + self.creations
+    }
+}
+
+/// A resident agent plus its current LRU stamp.
+struct Resident {
+    agent: LocalAgent,
+    stamp: u64,
+}
+
+/// One storage shard: resident and dormant agents for the keys it owns.
+#[derive(Default)]
+struct PoolShard {
+    residents: HashMap<u64, Resident>,
+    dormant: HashMap<u64, crate::DormantAgent>,
+}
+
+/// The bounded-memory agent pool; see the module docs for the design.
+///
+/// # Example
+///
+/// ```
+/// use p2b_core::{AgentPool, AgentPoolConfig, P2bConfig, P2bSystem};
+/// use p2b_encoding::{KMeansConfig, KMeansEncoder};
+/// use p2b_linalg::Vector;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let corpus: Vec<Vector> = (0..64)
+///     .map(|i| Vector::from(vec![(i % 4) as f64 + 0.5, 1.0, 2.0]).normalized_l1().unwrap())
+///     .collect();
+/// let encoder = Arc::new(KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng)?);
+/// let mut system = P2bSystem::new(P2bConfig::new(3, 5), encoder)?;
+///
+/// // Hold at most 2 agents warm over a 4-code space.
+/// let mut pool = AgentPool::new(AgentPoolConfig::bounded(2))?;
+/// let ctx = Vector::from(vec![1.0, 0.5, 0.25]).normalized_l1()?;
+/// for code in [0u64, 1, 2, 3, 0, 1] {
+///     let action = pool.with_agent(&mut system, code, |agent| {
+///         agent.select_action(&ctx, &mut rng)
+///     })?;
+///     assert!(action.index() < 5);
+/// }
+/// assert!(pool.resident_agents() <= 2);
+/// assert_eq!(pool.stats().evictions, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AgentPool {
+    config: AgentPoolConfig,
+    shards: Vec<PoolShard>,
+    /// Global LRU index: stamp → (shard, key). Stamps are unique, so the
+    /// minimum entry is always the single least-recently-used resident.
+    lru: BTreeMap<u64, (usize, u64)>,
+    clock: u64,
+    outbox: Vec<RawReport>,
+    stats: PoolStats,
+}
+
+impl AgentPool {
+    /// Creates an empty pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero shard count or a zero
+    /// residency budget.
+    pub fn new(config: AgentPoolConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            shards: (0..config.shards).map(|_| PoolShard::default()).collect(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            outbox: Vec::new(),
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// The pool configuration.
+    #[must_use]
+    pub fn config(&self) -> &AgentPoolConfig {
+        &self.config
+    }
+
+    /// Number of agents currently held warm.
+    #[must_use]
+    pub fn resident_agents(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Number of agents persisted in the dormant tier.
+    #[must_use]
+    pub fn dormant_agents(&self) -> usize {
+        self.shards.iter().map(|s| s.dormant.len()).sum()
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Approximate heap bytes of model state owned by resident agents, plus
+    /// the model bytes persisted in the dormant tier. Still-shared agents
+    /// (resident or dormant) contribute zero: they read through the epoch's
+    /// shared snapshot.
+    #[must_use]
+    pub fn approx_model_bytes(&self) -> (usize, usize) {
+        let resident = self
+            .shards
+            .iter()
+            .flat_map(|s| s.residents.values())
+            .map(|r| r.agent.approx_owned_model_bytes())
+            .sum();
+        let dormant = self
+            .shards
+            .iter()
+            .flat_map(|s| s.dormant.values())
+            .map(crate::DormantAgent::approx_model_bytes)
+            .sum();
+        (resident, dormant)
+    }
+
+    fn shard_index(&self, key: u64) -> usize {
+        (splitmix64(key) % self.config.shards as u64) as usize
+    }
+
+    /// Checks the agent for `key` out of the pool, runs `f` on it, and
+    /// checks it back in — evicting the least-recently-used resident if the
+    /// residency budget is now exceeded.
+    ///
+    /// Checkout order of preference: resident (refreshed to the current
+    /// epoch's snapshot if it is still shared), dormant (rehydrated), fresh
+    /// (a new warm agent from the system). Reports the agent queued during
+    /// `f` are drained into the pool outbox at checkin, so the reporter path
+    /// survives any later eviction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot, rehydration and closure errors. The agent is
+    /// checked back in even when `f` fails.
+    pub fn with_agent<T>(
+        &mut self,
+        system: &mut P2bSystem,
+        key: u64,
+        f: impl FnOnce(&mut LocalAgent) -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        let mut agent = self.checkout(system, key)?;
+        let result = f(&mut agent);
+        self.checkin(key, agent);
+        result
+    }
+
+    fn checkout(&mut self, system: &mut P2bSystem, key: u64) -> Result<LocalAgent, CoreError> {
+        let shard = self.shard_index(key);
+        if let Some(resident) = self.shards[shard].residents.remove(&key) {
+            self.lru.remove(&resident.stamp);
+            self.stats.hits += 1;
+            let mut agent = resident.agent;
+            // A still-shared agent hops to the current epoch's snapshot —
+            // a pointer swap, not a copy — so residents and rehydrated
+            // agents always serve from the same model.
+            if let Some(snapshot) = agent.warm_snapshot() {
+                let current = system.central_snapshot()?;
+                if snapshot.epoch() != current.epoch() {
+                    agent.refresh_from_snapshot(current)?;
+                }
+            }
+            return Ok(agent);
+        }
+        if let Some(dormant) = self.shards[shard].dormant.remove(&key) {
+            self.stats.rehydrations += 1;
+            let snapshot = system.central_snapshot()?;
+            return LocalAgent::rehydrate(
+                dormant,
+                std::sync::Arc::clone(system.encoder()),
+                &snapshot,
+            );
+        }
+        self.stats.creations += 1;
+        system.make_warm_agent()
+    }
+
+    fn checkin(&mut self, key: u64, mut agent: LocalAgent) {
+        self.outbox.extend(agent.take_reports());
+        let shard = self.shard_index(key);
+        let stamp = self.clock;
+        self.clock += 1;
+        self.shards[shard]
+            .residents
+            .insert(key, Resident { agent, stamp });
+        self.lru.insert(stamp, (shard, key));
+        if let Some(budget) = self.config.max_resident_agents {
+            while self.lru.len() > budget {
+                self.evict_lru();
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Dehydrates the least-recently-used resident into the dormant tier.
+    /// Budget accounting happens at the call sites: only budget pressure
+    /// counts as an eviction in [`PoolStats`], a [`AgentPool::park_all`]
+    /// drain does not.
+    fn evict_lru(&mut self) {
+        let Some((&stamp, &(shard, key))) = self.lru.iter().next() else {
+            return;
+        };
+        self.lru.remove(&stamp);
+        let resident = self.shards[shard]
+            .residents
+            .remove(&key)
+            .expect("LRU index and resident maps stay in sync");
+        let (reports, dormant) = resident.agent.dehydrate();
+        self.outbox.extend(reports);
+        self.shards[shard].dormant.insert(key, dormant);
+    }
+
+    /// Evicts every resident agent (in LRU order), persisting all local
+    /// state to the dormant tier — the shutdown/drain path of a serving
+    /// deployment, and how simulations flush trailing reports.
+    pub fn park_all(&mut self) {
+        while !self.lru.is_empty() {
+            self.evict_lru();
+        }
+    }
+
+    /// Drains the reports funneled through the pool (queued at checkin and
+    /// eviction), in funnel order.
+    #[must_use]
+    pub fn drain_reports(&mut self) -> Vec<RawReport> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+impl std::fmt::Debug for AgentPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentPool")
+            .field("config", &self.config)
+            .field("resident_agents", &self.resident_agents())
+            .field("dormant_agents", &self.dormant_agents())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::P2bConfig;
+    use p2b_bandit::ContextualPolicy;
+    use p2b_encoding::{KMeansConfig, KMeansEncoder};
+    use p2b_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn system() -> P2bSystem {
+        let mut rng = StdRng::seed_from_u64(0);
+        let corpus: Vec<Vector> = (0..80)
+            .map(|i| {
+                let mut v = vec![0.1; 4];
+                v[i % 4] = 1.0;
+                Vector::from(v).normalized_l1().unwrap()
+            })
+            .collect();
+        let encoder =
+            Arc::new(KMeansEncoder::fit(&corpus, KMeansConfig::new(4), &mut rng).unwrap());
+        let config = P2bConfig::new(4, 3)
+            .with_local_interactions(1)
+            .with_shuffler_threshold(1);
+        P2bSystem::new(config, encoder).unwrap()
+    }
+
+    fn ctx(cluster: usize) -> Vector {
+        let mut raw = vec![0.05; 4];
+        raw[cluster] = 1.0;
+        Vector::from(raw).normalized_l1().unwrap()
+    }
+
+    #[test]
+    fn validates_configuration() {
+        assert!(AgentPool::new(AgentPoolConfig::bounded(0)).is_err());
+        assert!(AgentPool::new(AgentPoolConfig::unbounded().with_shards(0)).is_err());
+        assert!(AgentPool::new(AgentPoolConfig::bounded(1).with_shards(4)).is_ok());
+    }
+
+    #[test]
+    fn residency_never_exceeds_the_budget() {
+        let mut sys = system();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pool = AgentPool::new(AgentPoolConfig::bounded(3).with_shards(2)).unwrap();
+        for step in 0..40u64 {
+            let key = step % 7;
+            pool.with_agent(&mut sys, key, |agent| {
+                agent.select_action(&ctx((key % 4) as usize), &mut rng)
+            })
+            .unwrap();
+            assert!(
+                pool.resident_agents() <= 3,
+                "budget violated at step {step}"
+            );
+        }
+        assert!(pool.stats().evictions > 0);
+        assert!(pool.stats().rehydrations > 0);
+        // Every key's agent was created exactly once: rehydration, not
+        // re-creation, serves returning keys.
+        assert_eq!(pool.stats().creations, 7);
+        assert_eq!(pool.resident_agents() + pool.dormant_agents(), 7);
+    }
+
+    #[test]
+    fn unbounded_pool_never_evicts() {
+        let mut sys = system();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pool = AgentPool::new(AgentPoolConfig::unbounded()).unwrap();
+        for key in 0..20u64 {
+            pool.with_agent(&mut sys, key, |agent| {
+                agent.select_action(&ctx((key % 4) as usize), &mut rng)
+            })
+            .unwrap();
+        }
+        assert_eq!(pool.resident_agents(), 20);
+        assert_eq!(pool.stats().evictions, 0);
+        assert_eq!(pool.stats().creations, 20);
+    }
+
+    #[test]
+    fn eviction_funnels_reports_to_the_outbox() {
+        let mut sys = system();
+        let mut rng = StdRng::seed_from_u64(3);
+        // T = 1, p = 0.5: interactions queue reports with high probability.
+        let mut pool = AgentPool::new(AgentPoolConfig::bounded(1)).unwrap();
+        let mut selected = 0u64;
+        for step in 0..30u64 {
+            let key = step % 3;
+            pool.with_agent(&mut sys, key, |agent| {
+                let c = ctx((key % 4) as usize);
+                let action = agent.select_action(&c, &mut rng)?;
+                agent.observe_reward(&c, action, 1.0, &mut rng)?;
+                selected += 1;
+                Ok(())
+            })
+            .unwrap();
+        }
+        let reports = pool.drain_reports();
+        assert!(!reports.is_empty(), "some coin flips must have landed");
+        assert!(
+            pool.drain_reports().is_empty(),
+            "drain must clear the outbox"
+        );
+        assert_eq!(selected, 30);
+    }
+
+    #[test]
+    fn rehydrated_agents_keep_their_local_observations() {
+        let mut sys = system();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pool = AgentPool::new(AgentPoolConfig::bounded(1)).unwrap();
+        // Key 0's agent folds 5 local observations.
+        pool.with_agent(&mut sys, 0, |agent| {
+            for _ in 0..5 {
+                let c = ctx(0);
+                let action = agent.select_action(&c, &mut rng)?;
+                agent.observe_reward(&c, action, 1.0, &mut rng)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // Key 1 evicts key 0.
+        pool.with_agent(&mut sys, 1, |agent| {
+            agent.select_action(&ctx(1), &mut rng).map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(pool.dormant_agents(), 1);
+        // Key 0 comes back with its observations intact.
+        pool.with_agent(&mut sys, 0, |agent| {
+            assert_eq!(agent.interactions(), 5);
+            assert_eq!(agent.policy().observations(), 5);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn shared_agents_cost_no_resident_model_bytes() {
+        let mut sys = system();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pool = AgentPool::new(AgentPoolConfig::bounded(2)).unwrap();
+        // Selection-only traffic: agents stay shared, owning no model bytes.
+        for key in 0..4u64 {
+            pool.with_agent(&mut sys, key, |agent| {
+                agent
+                    .select_action(&ctx((key % 4) as usize), &mut rng)
+                    .map(|_| ())
+            })
+            .unwrap();
+        }
+        let (resident, dormant) = pool.approx_model_bytes();
+        assert_eq!(resident, 0);
+        assert_eq!(dormant, 0);
+        // One local update promotes ownership and shows up in the ceiling.
+        pool.with_agent(&mut sys, 0, |agent| {
+            let c = ctx(0);
+            let action = agent.select_action(&c, &mut rng)?;
+            agent.observe_reward(&c, action, 1.0, &mut rng)
+        })
+        .unwrap();
+        let (resident, _) = pool.approx_model_bytes();
+        assert!(resident > 0);
+    }
+
+    #[test]
+    fn park_all_persists_everything() {
+        let mut sys = system();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut pool = AgentPool::new(AgentPoolConfig::unbounded().with_shards(4)).unwrap();
+        for key in 0..6u64 {
+            pool.with_agent(&mut sys, key, |agent| {
+                agent
+                    .select_action(&ctx((key % 4) as usize), &mut rng)
+                    .map(|_| ())
+            })
+            .unwrap();
+        }
+        pool.park_all();
+        assert_eq!(pool.resident_agents(), 0);
+        assert_eq!(pool.dormant_agents(), 6);
+        // Parked agents come back.
+        pool.with_agent(&mut sys, 3, |agent| {
+            assert_eq!(agent.interactions(), 0);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(pool.stats().rehydrations, 1);
+    }
+
+    #[test]
+    fn checkin_happens_even_when_the_closure_fails() {
+        let mut sys = system();
+        let mut pool = AgentPool::new(AgentPoolConfig::bounded(2)).unwrap();
+        let err = pool.with_agent(&mut sys, 0, |_agent| -> Result<(), CoreError> {
+            Err(CoreError::InvalidConfig {
+                parameter: "test",
+                message: "boom".to_owned(),
+            })
+        });
+        assert!(err.is_err());
+        assert_eq!(pool.resident_agents(), 1, "agent must be checked back in");
+    }
+
+    #[test]
+    fn sharding_partitions_keys_but_not_the_budget() {
+        let mut sys = system();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pool = AgentPool::new(AgentPoolConfig::bounded(2).with_shards(4)).unwrap();
+        for key in 0..12u64 {
+            pool.with_agent(&mut sys, key, |agent| {
+                agent
+                    .select_action(&ctx((key % 4) as usize), &mut rng)
+                    .map(|_| ())
+            })
+            .unwrap();
+            assert!(pool.resident_agents() <= 2, "global budget is exact");
+        }
+    }
+}

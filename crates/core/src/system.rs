@@ -129,6 +129,18 @@ impl P2bSystem {
     /// Propagates agent-construction errors and internal model-service
     /// failures.
     pub fn make_agent<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> Result<LocalAgent, CoreError> {
+        self.make_warm_agent()
+    }
+
+    /// Creates a *warm* local agent without threading an RNG through —
+    /// warm starts are deterministic pointer hand-offs, so no randomness is
+    /// consumed. This is the constructor the [`crate::AgentPool`] uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent-construction errors and internal model-service
+    /// failures.
+    pub fn make_warm_agent(&mut self) -> Result<LocalAgent, CoreError> {
         let id = self.next_agent_id;
         self.next_agent_id += 1;
         let snapshot = self.server.snapshot()?;

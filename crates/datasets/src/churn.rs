@@ -1,0 +1,495 @@
+//! User churn: arrival/departure schedules and a cohort-churn environment.
+//!
+//! The paper's deployment population is never static — users install, go
+//! quiet and return, which is exactly what forces a serving tier to evict
+//! and rehydrate agents instead of keeping one per user forever. This
+//! module provides the two non-stationary population primitives:
+//!
+//! * [`ChurnProcess`] — a seeded arrival/departure schedule over user ids.
+//!   Each round a Poisson-like number of fresh users arrives (integer part
+//!   deterministic, fractional part Bernoulli) and every active user departs
+//!   independently with a fixed probability. The simulation harness drives
+//!   the bounded agent pool with it.
+//! * [`CohortChurnEnvironment`] — the population-composition view of churn
+//!   for the experiment matrix: contexts are drawn from a rotating set of
+//!   *cohorts* (tight context clusters standing in for user segments); every
+//!   [`CohortChurnConfig::rotation_period`] rounds the oldest cohort departs
+//!   and a freshly sampled one arrives, so the context distribution the
+//!   encoder and policies face keeps moving while the latent reward weights
+//!   stay fixed.
+
+use crate::{ContextualEnvironment, DatasetError, SyntheticConfig, SyntheticPreferenceEnvironment};
+use p2b_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration of a [`ChurnProcess`].
+///
+/// Rates are expressed in per-mille (thousandths) so the configuration stays
+/// hashable and exactly serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Users active before the first round.
+    pub initial_users: usize,
+    /// Expected fresh arrivals per round, in thousandths of a user
+    /// (e.g. `2500` = 2.5 users per round).
+    pub arrivals_per_mille: u32,
+    /// Per-round departure probability of each active user, in thousandths
+    /// (e.g. `50` = 5% per round).
+    pub departure_per_mille: u32,
+    /// Hard ceiling on concurrently active users (arrivals are dropped at
+    /// the ceiling).
+    pub max_users: usize,
+}
+
+impl ChurnConfig {
+    /// Creates a churn configuration with the given initial population,
+    /// 1 arrival per round, 5% departure per round and a ceiling of
+    /// `4 × initial_users`.
+    #[must_use]
+    pub fn new(initial_users: usize) -> Self {
+        Self {
+            initial_users,
+            arrivals_per_mille: 1000,
+            departure_per_mille: 50,
+            max_users: initial_users.saturating_mul(4).max(1),
+        }
+    }
+
+    /// Sets the expected arrivals per round (in thousandths).
+    #[must_use]
+    pub fn with_arrivals_per_mille(mut self, arrivals_per_mille: u32) -> Self {
+        self.arrivals_per_mille = arrivals_per_mille;
+        self
+    }
+
+    /// Sets the per-round departure probability (in thousandths).
+    #[must_use]
+    pub fn with_departure_per_mille(mut self, departure_per_mille: u32) -> Self {
+        self.departure_per_mille = departure_per_mille;
+        self
+    }
+
+    /// Sets the active-user ceiling.
+    #[must_use]
+    pub fn with_max_users(mut self, max_users: usize) -> Self {
+        self.max_users = max_users;
+        self
+    }
+
+    fn validate(&self) -> Result<(), DatasetError> {
+        if self.initial_users == 0 {
+            return Err(DatasetError::InvalidConfig {
+                parameter: "initial_users",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.departure_per_mille > 1000 {
+            return Err(DatasetError::InvalidConfig {
+                parameter: "departure_per_mille",
+                message: format!("must be at most 1000, got {}", self.departure_per_mille),
+            });
+        }
+        if self.max_users < self.initial_users {
+            return Err(DatasetError::InvalidConfig {
+                parameter: "max_users",
+                message: format!(
+                    "must be at least initial_users ({}), got {}",
+                    self.initial_users, self.max_users
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What one round of churn did to the population.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChurnRound {
+    /// User ids that arrived this round.
+    pub arrivals: Vec<u64>,
+    /// User ids that departed this round.
+    pub departures: Vec<u64>,
+}
+
+/// A seeded arrival/departure schedule over user ids; see the module docs.
+///
+/// The process owns its RNG, so two processes built from the same
+/// configuration and seed produce identical schedules regardless of what
+/// the surrounding simulation does with its own randomness.
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    config: ChurnConfig,
+    active: BTreeSet<u64>,
+    next_user: u64,
+    total_departed: u64,
+    rng: StdRng,
+}
+
+impl ChurnProcess {
+    /// Creates a churn process with users `0..initial_users` active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for invalid configurations.
+    pub fn new(config: ChurnConfig, seed: u64) -> Result<Self, DatasetError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            active: (0..config.initial_users as u64).collect(),
+            next_user: config.initial_users as u64,
+            total_departed: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChurnConfig {
+        &self.config
+    }
+
+    /// The currently active user ids, in id order.
+    #[must_use]
+    pub fn active_users(&self) -> &BTreeSet<u64> {
+        &self.active
+    }
+
+    /// Number of currently active users.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total users that ever arrived (including the initial population).
+    #[must_use]
+    pub fn total_arrived(&self) -> u64 {
+        self.next_user
+    }
+
+    /// Total users that departed so far.
+    #[must_use]
+    pub fn total_departed(&self) -> u64 {
+        self.total_departed
+    }
+
+    /// Advances the population by one round: samples departures (each
+    /// active user independently), then arrivals (up to the ceiling).
+    pub fn next_round(&mut self) -> ChurnRound {
+        let mut round = ChurnRound::default();
+        let departure = f64::from(self.config.departure_per_mille) / 1000.0;
+        // BTreeSet iteration is id-ordered, so the schedule is reproducible.
+        for &user in &self.active.clone() {
+            if self.rng.gen::<f64>() < departure {
+                round.departures.push(user);
+            }
+        }
+        for user in &round.departures {
+            self.active.remove(user);
+            self.total_departed += 1;
+        }
+        let guaranteed = self.config.arrivals_per_mille / 1000;
+        let fractional = f64::from(self.config.arrivals_per_mille % 1000) / 1000.0;
+        let mut arrivals = guaranteed as usize;
+        if self.rng.gen::<f64>() < fractional {
+            arrivals += 1;
+        }
+        for _ in 0..arrivals {
+            if self.active.len() >= self.config.max_users {
+                break;
+            }
+            let user = self.next_user;
+            self.next_user += 1;
+            self.active.insert(user);
+            round.arrivals.push(user);
+        }
+        round
+    }
+}
+
+/// Configuration of a [`CohortChurnEnvironment`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CohortChurnConfig {
+    /// The stationary reward model (dimension, actions, β, noise).
+    pub synthetic: SyntheticConfig,
+    /// Number of concurrently active cohorts.
+    pub num_cohorts: usize,
+    /// Rounds between cohort replacements (oldest out, fresh one in).
+    pub rotation_period: u64,
+    /// Mixing weight of the cohort center in a sampled context
+    /// (`0` = ignore cohorts, `1` = contexts sit exactly on the center).
+    pub concentration: f64,
+}
+
+impl CohortChurnConfig {
+    /// Creates a cohort-churn configuration with 4 cohorts, rotation every
+    /// 50 rounds and concentration 0.8.
+    #[must_use]
+    pub fn new(synthetic: SyntheticConfig) -> Self {
+        Self {
+            synthetic,
+            num_cohorts: 4,
+            rotation_period: 50,
+            concentration: 0.8,
+        }
+    }
+
+    /// Sets the number of concurrently active cohorts.
+    #[must_use]
+    pub fn with_num_cohorts(mut self, num_cohorts: usize) -> Self {
+        self.num_cohorts = num_cohorts;
+        self
+    }
+
+    /// Sets the rotation period in rounds.
+    #[must_use]
+    pub fn with_rotation_period(mut self, rotation_period: u64) -> Self {
+        self.rotation_period = rotation_period;
+        self
+    }
+
+    fn validate(&self) -> Result<(), DatasetError> {
+        if self.num_cohorts == 0 {
+            return Err(DatasetError::InvalidConfig {
+                parameter: "num_cohorts",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if self.rotation_period == 0 {
+            return Err(DatasetError::InvalidConfig {
+                parameter: "rotation_period",
+                message: "must be at least 1".to_owned(),
+            });
+        }
+        if !self.concentration.is_finite() || !(0.0..=1.0).contains(&self.concentration) {
+            return Err(DatasetError::InvalidConfig {
+                parameter: "concentration",
+                message: format!("must lie in [0, 1], got {}", self.concentration),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The population-composition view of user churn; see the module docs.
+#[derive(Debug, Clone)]
+pub struct CohortChurnEnvironment {
+    config: CohortChurnConfig,
+    base: SyntheticPreferenceEnvironment,
+    cohorts: Vec<Vector>,
+    round: u64,
+    rotations: u64,
+}
+
+impl CohortChurnEnvironment {
+    /// Creates the environment, sampling the latent reward weights and the
+    /// initial cohort centers from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for invalid configurations.
+    pub fn new<R: Rng>(config: CohortChurnConfig, rng: &mut R) -> Result<Self, DatasetError> {
+        config.validate()?;
+        let mut base = SyntheticPreferenceEnvironment::new(config.synthetic, rng)?;
+        let cohorts = (0..config.num_cohorts)
+            .map(|_| base.sample_context(rng))
+            .collect();
+        Ok(Self {
+            config,
+            base,
+            cohorts,
+            round: 0,
+            rotations: 0,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CohortChurnConfig {
+        &self.config
+    }
+
+    /// Number of cohort replacements performed so far.
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// The active cohort centers.
+    #[must_use]
+    pub fn cohorts(&self) -> &[Vector] {
+        &self.cohorts
+    }
+
+    /// Advances one round; on rotation boundaries the oldest cohort departs
+    /// and a freshly sampled center (drawn from `rng`) arrives.
+    pub fn advance_round(&mut self, rng: &mut dyn rand::RngCore) {
+        self.round += 1;
+        if self.round % self.config.rotation_period == 0 {
+            self.cohorts.remove(0);
+            let fresh = self.base.sample_context(rng);
+            self.cohorts.push(fresh);
+            self.rotations += 1;
+        }
+    }
+}
+
+impl ContextualEnvironment for CohortChurnEnvironment {
+    fn context_dimension(&self) -> usize {
+        self.base.context_dimension()
+    }
+
+    fn num_actions(&self) -> usize {
+        self.base.num_actions()
+    }
+
+    fn sample_context(&mut self, rng: &mut dyn rand::RngCore) -> Vector {
+        let cohort = (*rng).gen_range(0..self.cohorts.len());
+        let center = self.cohorts[cohort].clone();
+        let fresh = self.base.sample_context(rng);
+        // Convex mix of the cohort center and an individual draw: both are
+        // simplex points, so the mix is one too.
+        let c = self.config.concentration;
+        let mixed: Vec<f64> = center
+            .iter()
+            .zip(fresh.iter())
+            .map(|(&m, &f)| c * m + (1.0 - c) * f)
+            .collect();
+        Vector::from(mixed)
+            .normalized_l1()
+            .expect("dimension validated at construction")
+    }
+
+    fn sample_reward(
+        &mut self,
+        context: &Vector,
+        action: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<f64, DatasetError> {
+        self.base.sample_reward(context, action, rng)
+    }
+
+    fn expected_reward(&self, context: &Vector, action: usize) -> Result<f64, DatasetError> {
+        self.base.expected_reward(context, action)
+    }
+
+    fn name(&self) -> &'static str {
+        "cohort-churn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_config_validation() {
+        assert!(ChurnProcess::new(ChurnConfig::new(0), 0).is_err());
+        assert!(ChurnProcess::new(ChurnConfig::new(5).with_departure_per_mille(1001), 0).is_err());
+        assert!(ChurnProcess::new(ChurnConfig::new(5).with_max_users(3), 0).is_err());
+        assert!(ChurnProcess::new(ChurnConfig::new(5), 0).is_ok());
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let config = ChurnConfig::new(20)
+            .with_arrivals_per_mille(1500)
+            .with_departure_per_mille(100);
+        let mut a = ChurnProcess::new(config, 7).unwrap();
+        let mut b = ChurnProcess::new(config, 7).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.next_round(), b.next_round());
+        }
+        assert_eq!(a.active_users(), b.active_users());
+    }
+
+    #[test]
+    fn population_turns_over_but_respects_the_ceiling() {
+        let config = ChurnConfig::new(10)
+            .with_arrivals_per_mille(3000)
+            .with_departure_per_mille(100)
+            .with_max_users(25);
+        let mut process = ChurnProcess::new(config, 3).unwrap();
+        for _ in 0..200 {
+            process.next_round();
+            assert!(process.active_count() <= 25);
+        }
+        assert!(process.total_departed() > 0, "users must depart");
+        assert!(
+            process.total_arrived() > 10,
+            "fresh users must arrive beyond the initial population"
+        );
+        // Conservation: arrived = active + departed.
+        assert_eq!(
+            process.total_arrived(),
+            process.active_count() as u64 + process.total_departed()
+        );
+    }
+
+    #[test]
+    fn zero_departure_keeps_everyone() {
+        let config = ChurnConfig::new(5)
+            .with_arrivals_per_mille(0)
+            .with_departure_per_mille(0);
+        let mut process = ChurnProcess::new(config, 1).unwrap();
+        for _ in 0..20 {
+            let round = process.next_round();
+            assert!(round.arrivals.is_empty());
+            assert!(round.departures.is_empty());
+        }
+        assert_eq!(process.active_count(), 5);
+    }
+
+    #[test]
+    fn cohort_environment_rotates_on_schedule() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = CohortChurnConfig::new(SyntheticConfig::new(4, 3)).with_rotation_period(10);
+        let mut env = CohortChurnEnvironment::new(config, &mut rng).unwrap();
+        let before = env.cohorts().to_vec();
+        for _ in 0..9 {
+            env.advance_round(&mut rng);
+        }
+        assert_eq!(env.rotations(), 0);
+        env.advance_round(&mut rng);
+        assert_eq!(env.rotations(), 1);
+        let after = env.cohorts();
+        assert_eq!(after.len(), before.len());
+        // The oldest departed, the rest shifted down.
+        assert_eq!(after[0].as_slice(), before[1].as_slice());
+    }
+
+    #[test]
+    fn cohort_contexts_stay_on_the_simplex() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = CohortChurnConfig::new(SyntheticConfig::new(6, 4));
+        let mut env = CohortChurnEnvironment::new(config, &mut rng).unwrap();
+        for _ in 0..50 {
+            let ctx = env.sample_context(&mut rng);
+            assert_eq!(ctx.len(), 6);
+            assert!((ctx.sum() - 1.0).abs() < 1e-9);
+            assert!(ctx.iter().all(|&x| x >= 0.0));
+            env.advance_round(&mut rng);
+        }
+    }
+
+    #[test]
+    fn cohort_validation_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = SyntheticConfig::new(4, 3);
+        assert!(CohortChurnEnvironment::new(
+            CohortChurnConfig::new(base).with_num_cohorts(0),
+            &mut rng
+        )
+        .is_err());
+        assert!(CohortChurnEnvironment::new(
+            CohortChurnConfig::new(base).with_rotation_period(0),
+            &mut rng
+        )
+        .is_err());
+        let mut bad = CohortChurnConfig::new(base);
+        bad.concentration = 1.5;
+        assert!(CohortChurnEnvironment::new(bad, &mut rng).is_err());
+    }
+}

@@ -19,20 +19,35 @@
 //!   reward of an action is 1 iff it matches the logged action *and* the
 //!   logged impression was clicked.
 //!
-//! The [`ContextualEnvironment`] trait unifies the three so the simulation
-//! engine can drive any of them.
+//! On top of the stationary workloads, two non-stationary population axes
+//! stress-test privatized warm-starting:
+//!
+//! * [`DriftingPreferenceEnvironment`] — preference drift: the synthetic
+//!   benchmark's reward means rotate by one action every
+//!   [`DriftConfig::period_rounds`] rounds.
+//! * [`ChurnProcess`] / [`CohortChurnEnvironment`] — user churn: a seeded
+//!   arrival/departure schedule over user ids (driving the bounded agent
+//!   pool), and its population-composition view where the context
+//!   distribution follows a rotating set of cohorts.
+//!
+//! The [`ContextualEnvironment`] trait unifies the environments so the
+//! simulation engine can drive any of them.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod churn;
 mod criteo;
+mod drift;
 mod environment;
 mod error;
 mod feature_hash;
 mod multilabel;
 mod synthetic;
 
+pub use churn::{ChurnConfig, ChurnProcess, ChurnRound, CohortChurnConfig, CohortChurnEnvironment};
 pub use criteo::{CriteoConfig, CriteoLikeGenerator, LoggedImpression};
+pub use drift::{DriftConfig, DriftingPreferenceEnvironment};
 pub use environment::ContextualEnvironment;
 pub use error::DatasetError;
 pub use feature_hash::FeatureHasher;

@@ -1,0 +1,162 @@
+//! Edge-case coverage for the encoders: empty context vectors, constant
+//! features and duplicated corpus points must produce errors or stable
+//! codes — never panics. A production encoder fit runs on whatever
+//! historical corpus exists, and serving traffic includes malformed
+//! contexts; both ends must degrade gracefully.
+
+use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder, LshConfig, LshEncoder, Quantizer};
+use p2b_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn duplicated_corpus(copies: usize) -> Vec<Vector> {
+    (0..copies)
+        .map(|_| Vector::from(vec![0.25, 0.25, 0.25, 0.25]))
+        .collect()
+}
+
+fn constant_feature_corpus(copies: usize) -> Vec<Vector> {
+    // Two features carry all the mass, two are constant zero.
+    (0..copies)
+        .map(|_| {
+            Vector::from(vec![0.5, 0.5, 0.0, 0.0])
+                .normalized_l1()
+                .expect("non-empty")
+        })
+        .collect()
+}
+
+// ── k-means ──────────────────────────────────────────────────────────────
+
+#[test]
+fn kmeans_fit_on_duplicate_points_encodes_stably() {
+    let mut rng = StdRng::seed_from_u64(0);
+    // 40 identical points, k = 4: every centroid collapses onto the same
+    // location. The fit must not panic and encoding must be deterministic.
+    let encoder = KMeansEncoder::fit(&duplicated_corpus(40), KMeansConfig::new(4), &mut rng)
+        .expect("duplicate corpora are degenerate but fittable");
+    let probe = Vector::from(vec![0.25; 4]);
+    let code = encoder.encode(&probe).expect("encoding succeeds");
+    for _ in 0..10 {
+        assert_eq!(
+            encoder.encode(&probe).unwrap(),
+            code,
+            "codes must be stable"
+        );
+    }
+    assert!(code.value() < encoder.num_codes());
+}
+
+#[test]
+fn kmeans_fit_on_constant_features_encodes_stably() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let corpus = constant_feature_corpus(40);
+    let encoder = KMeansEncoder::fit(&corpus, KMeansConfig::new(2), &mut rng)
+        .expect("constant-feature corpora are fittable");
+    let code = encoder.encode(&corpus[0]).expect("encoding succeeds");
+    assert_eq!(encoder.encode(&corpus[7]).unwrap(), code);
+    // Representatives of every code stay finite and well-shaped.
+    for c in 0..encoder.num_codes() {
+        let rep = encoder
+            .representative(p2b_encoding::ContextCode::new(c))
+            .expect("representative exists");
+        assert_eq!(rep.len(), 4);
+        assert!(rep.iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn kmeans_rejects_empty_and_undersized_corpora() {
+    let mut rng = StdRng::seed_from_u64(2);
+    assert!(
+        KMeansEncoder::fit(&[], KMeansConfig::new(2), &mut rng).is_err(),
+        "an empty corpus cannot seed k-means++"
+    );
+    assert!(
+        KMeansEncoder::fit(&duplicated_corpus(3), KMeansConfig::new(8), &mut rng).is_err(),
+        "fewer samples than clusters is insufficient data"
+    );
+}
+
+#[test]
+fn kmeans_encode_rejects_the_empty_context() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let encoder =
+        KMeansEncoder::fit(&duplicated_corpus(8), KMeansConfig::new(1), &mut rng).unwrap();
+    assert!(
+        encoder.encode(&Vector::from(Vec::new())).is_err(),
+        "a zero-dimensional context is a dimension mismatch, not a panic"
+    );
+}
+
+// ── LSH ──────────────────────────────────────────────────────────────────
+
+#[test]
+fn lsh_handles_empty_corpus_constant_corpus_and_empty_contexts() {
+    let mut rng = StdRng::seed_from_u64(4);
+    // No corpus at all: the encoder centers on the uniform simplex point.
+    let encoder = LshEncoder::fit(&[], LshConfig::new(4, 3), &mut rng)
+        .expect("LSH needs no corpus to draw hyperplanes");
+    let probe = Vector::from(vec![0.7, 0.1, 0.1, 0.1]);
+    let code = encoder.encode(&probe).expect("encoding succeeds");
+    assert_eq!(
+        encoder.encode(&probe).unwrap(),
+        code,
+        "codes must be stable"
+    );
+    assert!(encoder.encode(&Vector::from(Vec::new())).is_err());
+
+    // A constant corpus centers the hyperplanes exactly on the data; every
+    // duplicate must land in the same bucket, deterministically.
+    let corpus = constant_feature_corpus(30);
+    let encoder = LshEncoder::fit(&corpus, LshConfig::new(4, 2), &mut rng)
+        .expect("constant corpora are fittable");
+    let code = encoder.encode(&corpus[0]).expect("encoding succeeds");
+    for sample in &corpus {
+        assert_eq!(encoder.encode(sample).unwrap(), code);
+    }
+}
+
+#[test]
+fn lsh_fit_on_duplicate_points_is_stable() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let corpus = duplicated_corpus(20);
+    let encoder =
+        LshEncoder::fit(&corpus, LshConfig::new(4, 4), &mut rng).expect("duplicates are fittable");
+    let code = encoder.encode(&corpus[0]).unwrap();
+    assert_eq!(encoder.encode(&corpus[19]).unwrap(), code);
+    assert!(code.value() < encoder.num_codes());
+}
+
+// ── Quantizer ────────────────────────────────────────────────────────────
+
+#[test]
+fn quantizer_rejects_the_empty_context() {
+    let quantizer = Quantizer::new(3).unwrap();
+    assert!(
+        quantizer.quantize(&Vector::from(Vec::new())).is_err(),
+        "an empty context cannot be normalized"
+    );
+    assert!(quantizer.round(&Vector::from(Vec::new())).is_err());
+}
+
+#[test]
+fn quantizer_handles_constant_and_degenerate_contexts() {
+    let quantizer = Quantizer::new(3).unwrap();
+    // A constant vector quantizes to the uniform grid point, exactly.
+    let constant = quantizer.quantize(&Vector::from(vec![0.25; 4])).unwrap();
+    assert_eq!(constant.units().iter().sum::<u64>(), quantizer.units());
+    let rounded = constant.to_vector();
+    assert!(rounded.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+
+    // The all-zero vector has no mass to normalize; the quantizer falls
+    // back to a uniform spread rather than dividing by zero.
+    let zeros = quantizer.quantize(&Vector::from(vec![0.0; 4])).unwrap();
+    let spread = zeros.to_vector();
+    assert!((spread.sum() - 1.0).abs() < 1e-12);
+    assert!(spread.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+
+    // Duplicate quantizations are bit-stable.
+    let again = quantizer.quantize(&Vector::from(vec![0.0; 4])).unwrap();
+    assert_eq!(zeros, again);
+}

@@ -66,5 +66,8 @@ pub use matrix::{
 pub use policy::{AnyPolicy, PolicyKind};
 pub use regime::PrivacyRegime;
 pub(crate) use scenario::ScenarioData;
-pub use scenario::{ScenarioKind, ScenarioShape};
+pub use scenario::{
+    ScenarioKind, ScenarioShape, CHURN_COHORTS, CHURN_ROTATION_PERIOD, DELAYED_MAX_REWARD_DELAY,
+    DRIFT_PERIOD_ROUNDS,
+};
 pub use streaming::run_streaming_shuffle;

@@ -31,10 +31,12 @@ use crate::{
     AnyPolicy, ExperimentError, PolicyKind, PrivacyRegime, ScenarioData, ScenarioKind,
     ScenarioShape,
 };
+use p2b_bandit::Action;
+use p2b_core::{DecisionTicket, RewardJoinBuffer};
 use p2b_encoding::{ContextCode, Encoder, KMeansConfig, KMeansEncoder};
 use p2b_linalg::Vector;
 use p2b_privacy::{AmplificationLedger, Participation, RandomizedResponse};
-use p2b_shuffler::{EncodedReport, RawReport, ShufflerConfig, ShufflerEngine};
+use p2b_shuffler::{splitmix64, EncodedReport, RawReport, ShufflerConfig, ShufflerEngine};
 use p2b_sim::parallel_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -345,13 +347,22 @@ impl MatrixResult {
     }
 }
 
-/// SplitMix64 — the same mixer the shuffler uses for slot hashing; here it
-/// derives independent per-cell and per-epoch seeds from the base seed.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+/// The delivery delay of one interaction's reward, deterministic in
+/// `(cell seed, user, interaction)`. With a zero join window rewards land
+/// in-round; otherwise delays are uniform over `[0, max_delay + 1]`, and
+/// the `max_delay + 1` case never delivers — the lost-conversion tail that
+/// exercises decision expiry.
+fn delivery_delay(seed: u64, user: u64, t: u64, max_delay: u64) -> Option<u64> {
+    if max_delay == 0 {
+        return Some(0);
+    }
+    let mix = splitmix64(
+        seed ^ user
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(t.wrapping_mul(0xA24B_AED4_963E_E407)),
+    );
+    let delay = mix % (max_delay + 2);
+    (delay <= max_delay).then_some(delay)
 }
 
 fn cell_seed(base: u64, scenario: usize, regime: usize, policy: usize, repeat: u32) -> u64 {
@@ -448,32 +459,54 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
     let mut pending: Vec<RawReport> = Vec::new();
     let mut epoch = 0u64;
 
+    let max_delay = spec.scenario.max_reward_delay();
     for user in 0..config.num_users {
         // Policy-agnostic warm start: the device begins from a clone of the
         // current central policy (the paper's model-snapshot warm start).
         let mut local = central.clone();
-        let mut last_interaction = None;
-        for _ in 0..config.interactions_per_user {
-            let round_data = scenario.next_round(&mut rng);
-            let action = local.select_action(&round_data.context, &mut rng)?;
-            let reward = scenario.sample_reward(&round_data, action.index(), &mut rng)?;
-            let expected = scenario.expected_reward(&round_data, action.index())?;
-            let optimum = scenario.optimal_reward(&round_data)?;
-            local.update(&round_data.context, action, reward)?;
-            cumulative_reward += reward;
-            cumulative_regret += optimum - expected;
-            round += 1;
-            if round % config.record_every == 0 {
-                series.push(point(round, cumulative_reward, cumulative_regret));
+        // Local learning flows through a delayed-reward join buffer. With a
+        // zero window — every stationary scenario — each reward joins in
+        // its own round and the fold is exactly the historical immediate
+        // update (the emitter goldens pin this); the delayed scenario joins
+        // rewards up to `max_delay` rounds late and loses the overflow.
+        let mut joiner: RewardJoinBuffer<(Vector, Action)> = RewardJoinBuffer::new(max_delay);
+        let horizon = config.interactions_per_user + max_delay + 1;
+        let mut deliveries: Vec<Vec<(DecisionTicket, f64)>> = vec![Vec::new(); horizon as usize];
+        let mut last_joined: Option<(Vector, Action, f64)> = None;
+        for t in 0..horizon {
+            if t < config.interactions_per_user {
+                let round_data = scenario.next_round(&mut rng);
+                let action = local.select_action(&round_data.context, &mut rng)?;
+                let reward = scenario.sample_reward(&round_data, action.index(), &mut rng)?;
+                let expected = scenario.expected_reward(&round_data, action.index())?;
+                let optimum = scenario.optimal_reward(&round_data)?;
+                cumulative_reward += reward;
+                cumulative_regret += optimum - expected;
+                round += 1;
+                if round % config.record_every == 0 {
+                    series.push(point(round, cumulative_reward, cumulative_regret));
+                }
+                let ticket = joiner.record((round_data.context, action));
+                if let Some(delay) = delivery_delay(spec.seed, user as u64, t, max_delay) {
+                    deliveries[(t + delay) as usize].push((ticket, reward));
+                }
             }
-            last_interaction = Some((round_data.context, action, reward));
+            for (ticket, reward) in deliveries[t as usize].drain(..) {
+                joiner.join(ticket, reward)?;
+            }
+            for joined in joiner.advance_round().joined {
+                let (context, action) = joined.payload;
+                local.update(&context, action, joined.reward)?;
+                last_joined = Some((context, action, joined.reward));
+            }
         }
 
         // One reporting opportunity per user, taken with probability p —
-        // the same data budget for every regime.
-        if rng.gen::<f64>() < participation.value() {
-            let (context, action, reward) =
-                last_interaction.expect("interactions_per_user >= 1 is validated");
+        // the same data budget for every regime. Only an interaction whose
+        // reward actually arrived can be shared: the device never learned
+        // the outcome of the others.
+        let opportunity = rng.gen::<f64>() < participation.value();
+        if let (true, Some((context, action, reward))) = (opportunity, last_joined) {
             submitted_reports += 1;
             match spec.regime {
                 PrivacyRegime::NonPrivate => {

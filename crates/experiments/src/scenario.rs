@@ -8,13 +8,32 @@
 
 use crate::ExperimentError;
 use p2b_datasets::{
-    ContextualEnvironment, CriteoConfig, CriteoLikeGenerator, MultiLabelConfig, MultiLabelDataset,
-    SyntheticConfig, SyntheticPreferenceEnvironment,
+    CohortChurnConfig, CohortChurnEnvironment, ContextualEnvironment, CriteoConfig,
+    CriteoLikeGenerator, DriftConfig, DriftingPreferenceEnvironment, MultiLabelConfig,
+    MultiLabelDataset, SyntheticConfig, SyntheticPreferenceEnvironment,
 };
 use p2b_linalg::Vector;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Rounds between drift steps of [`ScenarioKind::SyntheticDrift`].
+///
+/// The non-stationary scenario knobs are fixed, documented constants rather
+/// than [`crate::MatrixConfig`] fields: the matrix configuration's
+/// serialized schema is frozen by the golden result files, while the
+/// underlying generators ([`p2b_datasets::DriftConfig`],
+/// [`p2b_datasets::CohortChurnConfig`], [`p2b_core::RewardJoinBuffer`])
+/// expose the full knobs for direct use.
+pub const DRIFT_PERIOD_ROUNDS: u64 = 150;
+/// Rounds between cohort replacements of [`ScenarioKind::SyntheticChurn`].
+pub const CHURN_ROTATION_PERIOD: u64 = 100;
+/// Concurrently active cohorts of [`ScenarioKind::SyntheticChurn`].
+pub const CHURN_COHORTS: usize = 4;
+/// Join window (in interactions) of [`ScenarioKind::SyntheticDelayed`]:
+/// rewards arrive up to this many rounds late; scheduled delays are drawn
+/// from one round more, so the overflow share expires as lost feedback.
+pub const DELAYED_MAX_REWARD_DELAY: u64 = 2;
 
 /// Which workload a matrix cell runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -30,15 +49,32 @@ pub enum ScenarioKind {
     /// Criteo-like online advertising from logged impressions
     /// (Section 5.3, Figure 7).
     CriteoLike,
+    /// Preference drift: the synthetic benchmark's reward means rotate by
+    /// one action every [`DRIFT_PERIOD_ROUNDS`] rounds
+    /// ([`p2b_datasets::DriftingPreferenceEnvironment`]).
+    SyntheticDrift,
+    /// User churn: contexts follow a rotating cohort population
+    /// ([`p2b_datasets::CohortChurnEnvironment`], rotation every
+    /// [`CHURN_ROTATION_PERIOD`] rounds).
+    SyntheticChurn,
+    /// Delayed rewards: the stationary synthetic benchmark, but local
+    /// updates and shared reports only see rewards that joined their
+    /// decision within [`DELAYED_MAX_REWARD_DELAY`] rounds
+    /// ([`p2b_core::RewardJoinBuffer`]); later rewards are lost.
+    SyntheticDelayed,
 }
 
 impl ScenarioKind {
-    /// Every scenario, in the order the paper presents its workloads.
-    pub const ALL: [ScenarioKind; 4] = [
+    /// Every scenario: the paper's workloads in presentation order,
+    /// followed by the non-stationary axis.
+    pub const ALL: [ScenarioKind; 7] = [
         ScenarioKind::SyntheticGaussian,
         ScenarioKind::SyntheticBernoulli,
         ScenarioKind::MultiLabel,
         ScenarioKind::CriteoLike,
+        ScenarioKind::SyntheticDrift,
+        ScenarioKind::SyntheticChurn,
+        ScenarioKind::SyntheticDelayed,
     ];
 
     /// Stable identifier used in result files and CSV rows.
@@ -49,6 +85,9 @@ impl ScenarioKind {
             ScenarioKind::SyntheticBernoulli => "synthetic_bernoulli",
             ScenarioKind::MultiLabel => "multilabel",
             ScenarioKind::CriteoLike => "criteo_like",
+            ScenarioKind::SyntheticDrift => "synthetic_drift",
+            ScenarioKind::SyntheticChurn => "synthetic_churn",
+            ScenarioKind::SyntheticDelayed => "synthetic_delayed",
         }
     }
 
@@ -61,6 +100,19 @@ impl ScenarioKind {
             ScenarioKind::SyntheticBernoulli => "Fig. 4-5 (Bernoulli)",
             ScenarioKind::MultiLabel => "Fig. 6",
             ScenarioKind::CriteoLike => "Fig. 7",
+            ScenarioKind::SyntheticDrift => "beyond paper: preference drift",
+            ScenarioKind::SyntheticChurn => "beyond paper: user churn",
+            ScenarioKind::SyntheticDelayed => "beyond paper: delayed rewards",
+        }
+    }
+
+    /// The delayed-reward join window of this scenario, in rounds; zero
+    /// means every reward is observed in the round it was earned.
+    #[must_use]
+    pub fn max_reward_delay(&self) -> u64 {
+        match self {
+            ScenarioKind::SyntheticDelayed => DELAYED_MAX_REWARD_DELAY,
+            _ => 0,
         }
     }
 }
@@ -120,6 +172,16 @@ pub(crate) struct Round {
 /// cycle deterministically through their generated instances.
 pub(crate) enum ScenarioData {
     Synthetic(SyntheticPreferenceEnvironment),
+    /// Preference drift: round-aware, advanced at every `next_round`.
+    Drifting {
+        env: DriftingPreferenceEnvironment,
+        started: bool,
+    },
+    /// Cohort churn: round-aware, advanced at every `next_round`.
+    Churning {
+        env: CohortChurnEnvironment,
+        started: bool,
+    },
     Logged {
         contexts: Vec<Vector>,
         /// `rewards[i][a]` is the reward of action `a` on instance `i`.
@@ -148,6 +210,43 @@ impl ScenarioData {
                 let config = SyntheticConfig::new(shape.context_dimension, shape.num_actions)
                     .with_beta(shape.beta)
                     .with_bernoulli_rewards();
+                Ok(ScenarioData::Synthetic(
+                    SyntheticPreferenceEnvironment::new(config, rng)?,
+                ))
+            }
+            ScenarioKind::SyntheticDrift => {
+                let config = SyntheticConfig::new(shape.context_dimension, shape.num_actions)
+                    .with_beta(shape.beta)
+                    .with_noise_variance(shape.noise_variance);
+                Ok(ScenarioData::Drifting {
+                    env: DriftingPreferenceEnvironment::new(
+                        config,
+                        DriftConfig::new(crate::DRIFT_PERIOD_ROUNDS),
+                        rng,
+                    )?,
+                    started: false,
+                })
+            }
+            ScenarioKind::SyntheticChurn => {
+                let config = SyntheticConfig::new(shape.context_dimension, shape.num_actions)
+                    .with_beta(shape.beta)
+                    .with_noise_variance(shape.noise_variance);
+                Ok(ScenarioData::Churning {
+                    env: CohortChurnEnvironment::new(
+                        CohortChurnConfig::new(config)
+                            .with_num_cohorts(crate::CHURN_COHORTS)
+                            .with_rotation_period(crate::CHURN_ROTATION_PERIOD),
+                        rng,
+                    )?,
+                    started: false,
+                })
+            }
+            ScenarioKind::SyntheticDelayed => {
+                // The environment is the stationary benchmark; the delay
+                // lives in the cell runner's reward-join buffer.
+                let config = SyntheticConfig::new(shape.context_dimension, shape.num_actions)
+                    .with_beta(shape.beta)
+                    .with_noise_variance(shape.noise_variance);
                 Ok(ScenarioData::Synthetic(
                     SyntheticPreferenceEnvironment::new(config, rng)?,
                 ))
@@ -202,6 +301,8 @@ impl ScenarioData {
     pub fn context_dimension(&self) -> usize {
         match self {
             ScenarioData::Synthetic(env) => env.context_dimension(),
+            ScenarioData::Drifting { env, .. } => env.context_dimension(),
+            ScenarioData::Churning { env, .. } => env.context_dimension(),
             ScenarioData::Logged { contexts, .. } => {
                 contexts.first().map_or(0, p2b_linalg::Vector::len)
             }
@@ -212,17 +313,41 @@ impl ScenarioData {
     pub fn num_actions(&self) -> usize {
         match self {
             ScenarioData::Synthetic(env) => env.num_actions(),
+            ScenarioData::Drifting { env, .. } => env.num_actions(),
+            ScenarioData::Churning { env, .. } => env.num_actions(),
             ScenarioData::Logged { rewards, .. } => rewards.first().map_or(0, Vec::len),
         }
     }
 
-    /// Produces the next round's context.
+    /// Produces the next round's context. Round-aware (drifting/churning)
+    /// scenarios advance their clock here, so every reward query between
+    /// two `next_round` calls sees one consistent environment state.
     pub fn next_round(&mut self, rng: &mut StdRng) -> Round {
         match self {
             ScenarioData::Synthetic(env) => Round {
                 context: env.sample_context(rng),
                 logged_index: None,
             },
+            ScenarioData::Drifting { env, started } => {
+                if *started {
+                    env.advance_round();
+                }
+                *started = true;
+                Round {
+                    context: env.sample_context(rng),
+                    logged_index: None,
+                }
+            }
+            ScenarioData::Churning { env, started } => {
+                if *started {
+                    env.advance_round(rng);
+                }
+                *started = true;
+                Round {
+                    context: env.sample_context(rng),
+                    logged_index: None,
+                }
+            }
             ScenarioData::Logged {
                 contexts, cursor, ..
             } => {
@@ -247,6 +372,12 @@ impl ScenarioData {
             (ScenarioData::Synthetic(env), _) => {
                 Ok(env.sample_reward(&round.context, action, rng)?)
             }
+            (ScenarioData::Drifting { env, .. }, _) => {
+                Ok(env.sample_reward(&round.context, action, rng)?)
+            }
+            (ScenarioData::Churning { env, .. }, _) => {
+                Ok(env.sample_reward(&round.context, action, rng)?)
+            }
             (ScenarioData::Logged { rewards, .. }, Some(index)) => Ok(rewards[index][action]),
             (ScenarioData::Logged { .. }, None) => Err(ExperimentError::InvalidConfig {
                 parameter: "round",
@@ -259,6 +390,12 @@ impl ScenarioData {
     pub fn expected_reward(&self, round: &Round, action: usize) -> Result<f64, ExperimentError> {
         match (self, round.logged_index) {
             (ScenarioData::Synthetic(env), _) => Ok(env.expected_reward(&round.context, action)?),
+            (ScenarioData::Drifting { env, .. }, _) => {
+                Ok(env.expected_reward(&round.context, action)?)
+            }
+            (ScenarioData::Churning { env, .. }, _) => {
+                Ok(env.expected_reward(&round.context, action)?)
+            }
             (ScenarioData::Logged { rewards, .. }, Some(index)) => Ok(rewards[index][action]),
             (ScenarioData::Logged { .. }, None) => Err(ExperimentError::InvalidConfig {
                 parameter: "round",
@@ -271,6 +408,8 @@ impl ScenarioData {
     pub fn optimal_reward(&self, round: &Round) -> Result<f64, ExperimentError> {
         match (self, round.logged_index) {
             (ScenarioData::Synthetic(env), _) => Ok(env.optimal_reward(&round.context)?),
+            (ScenarioData::Drifting { env, .. }, _) => Ok(env.optimal_reward(&round.context)?),
+            (ScenarioData::Churning { env, .. }, _) => Ok(env.optimal_reward(&round.context)?),
             (ScenarioData::Logged { rewards, .. }, Some(index)) => Ok(rewards[index]
                 .iter()
                 .copied()
@@ -286,9 +425,19 @@ impl ScenarioData {
     /// context distribution for synthetic scenarios, from the logged contexts
     /// (cycling) otherwise. Mirrors the paper's setup where the encoder is
     /// fitted once on public/historical data and shipped to devices.
+    ///
+    /// Round-aware scenarios sample from their *initial* state, exactly like
+    /// a production encoder fitted on historical data before the
+    /// non-stationarity it will face.
     pub fn encoder_corpus(&mut self, size: usize, rng: &mut StdRng) -> Vec<Vector> {
         match self {
             ScenarioData::Synthetic(env) => (0..size).map(|_| env.sample_context(rng)).collect(),
+            ScenarioData::Drifting { env, .. } => {
+                (0..size).map(|_| env.sample_context(rng)).collect()
+            }
+            ScenarioData::Churning { env, .. } => {
+                (0..size).map(|_| env.sample_context(rng)).collect()
+            }
             ScenarioData::Logged { contexts, .. } => (0..size)
                 .map(|i| contexts[i % contexts.len()].clone())
                 .collect(),

@@ -52,9 +52,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// SplitMix64: cheap, well-mixed hash used for slot→shard routing and for
-/// deriving per-shard RNG seeds from the engine seed.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64: a cheap, well-mixed 64-bit hash. The engine uses it for
+/// slot→shard routing and for deriving per-shard RNG seeds from the engine
+/// seed; the agent pool, the pooled population driver and the experiment
+/// matrix reuse the same mixer (re-exported as
+/// [`crate::splitmix64`]) so every shard/seed derivation in the workspace
+/// shares one load-bearing set of constants.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -58,7 +58,9 @@ mod report;
 mod shard;
 mod shuffle;
 
-pub use engine::{EngineBatch, EngineBuilder, EngineHandle, EngineOutput, ShufflerEngine};
+pub use engine::{
+    splitmix64, EngineBatch, EngineBuilder, EngineHandle, EngineOutput, ShufflerEngine,
+};
 pub use error::ShufflerError;
 pub use pipeline::{PipelineHandle, ShufflerPipeline};
 pub use report::{EncodedReport, RawReport, ReportMetadata};

@@ -29,6 +29,7 @@ mod error;
 mod logged;
 mod outcome;
 mod parallel;
+mod population;
 mod regime;
 mod streaming;
 mod synthetic;
@@ -37,6 +38,7 @@ pub use error::SimError;
 pub use logged::{run_logged_experiment, LoggedExample, LoggedExperimentConfig};
 pub use outcome::{write_series_json, RegimeOutcome, SeriesPoint};
 pub use parallel::parallel_map;
+pub use population::PopulationRoundPoint;
 pub use regime::Regime;
 pub use streaming::{run_streaming_population, StreamingConfig, StreamingOutcome};
 pub use synthetic::{run_synthetic_population, PopulationConfig};
