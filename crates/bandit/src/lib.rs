@@ -43,7 +43,9 @@ mod ucb1;
 
 pub use epsilon_greedy::{EpsilonGreedy, EpsilonGreedyConfig};
 pub use error::BanditError;
-pub use linucb::{CoalescedUpdate, LinUcb, LinUcbConfig};
+pub use linucb::{
+    CoalescedUpdate, F32Scorer, LinUcb, LinUcbConfig, SelectScratch, SelectScratchF32,
+};
 pub use policy::{Action, ContextualPolicy, Reward};
 pub use random::RandomPolicy;
 pub use thompson::{LinearThompsonSampling, ThompsonConfig};

@@ -2,7 +2,9 @@
 
 use crate::policy::{check_action, check_context, check_reward, random_action};
 use crate::{Action, BanditError, ContextualPolicy, Reward};
-use p2b_linalg::{Matrix, RankOneInverse, Vector};
+use p2b_linalg::{
+    Matrix, RankOneInverse, ScoreArena, ScoreArenaF32, ScoreScratch, ScoreScratchF32, Vector,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`LinUcb`] policy.
@@ -204,6 +206,81 @@ impl Arm {
     }
 }
 
+/// Reusable scratch buffers for allocation-free action selection
+/// ([`LinUcb::select_action_with`] and friends).
+///
+/// One `SelectScratch` serves models of any shape: buffers grow on demand.
+/// The scratch carries no behavioral state — a fresh scratch and a warm one
+/// produce bit-identical selections.
+#[derive(Debug, Clone, Default)]
+pub struct SelectScratch {
+    inner: ScoreScratch,
+    scores: Vec<f64>,
+    ties: Vec<usize>,
+}
+
+impl SelectScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable scratch buffers for the f32 scoring tier
+/// ([`F32Scorer::select_action_with`]).
+#[derive(Debug, Clone, Default)]
+pub struct SelectScratchF32 {
+    inner: ScoreScratchF32,
+    scores: Vec<f64>,
+    ties: Vec<usize>,
+}
+
+impl SelectScratchF32 {
+    /// Creates an empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Shared argmax-with-ties rule: the historical LinUCB tie-breaking
+/// semantics, kept in one place so the f64 and f32 paths can never drift.
+///
+/// Scores within `1e-12` of the running best are collected as ties; a single
+/// winner is returned without consuming randomness, multiple winners draw
+/// one uniform index, and an all-NaN score vector falls back to a uniform
+/// random action (unreachable with validated inputs, but the policy stays
+/// total).
+fn pick_best(
+    scores: &[f64],
+    ties: &mut Vec<usize>,
+    num_actions: usize,
+    rng: &mut dyn rand::RngCore,
+) -> Action {
+    let mut best_score = f64::NEG_INFINITY;
+    ties.clear();
+    for (idx, &score) in scores.iter().enumerate() {
+        if score > best_score + 1e-12 {
+            best_score = score;
+            ties.clear();
+            ties.push(idx);
+        } else if (score - best_score).abs() <= 1e-12 {
+            ties.push(idx);
+        }
+    }
+    if ties.is_empty() {
+        return random_action(num_actions, rng);
+    }
+    let choice = if ties.len() == 1 {
+        ties[0]
+    } else {
+        use rand::Rng as _;
+        ties[(*rng).gen_range(0..ties.len())]
+    };
+    Action::new(choice)
+}
+
 /// The disjoint-arm LinUCB contextual bandit.
 ///
 /// Every arm `a` keeps ridge-regression statistics `(A_a, b_a)`; the policy
@@ -211,6 +288,17 @@ impl Arm {
 /// `θ_aᵀ x + α √(xᵀ A_a⁻¹ x)` and updates only the chosen arm's statistics.
 /// Ties are broken uniformly at random, which matters in the early cold-start
 /// rounds where all arms share identical statistics.
+///
+/// # Scoring paths
+///
+/// Selection reads a flat, element-major [`ScoreArena`] that mirrors every
+/// arm's inverse and cached `θ_a = A_a⁻¹ b_a`, re-synced after each arm
+/// mutation, so one pass scores all arms without allocating
+/// ([`LinUcb::select_action_with`]). The per-arm [`RankOneInverse`] state is
+/// the f64 source of truth; [`LinUcb::scores_reference`] evaluates the
+/// historical one-arm-at-a-time path against it, and the two are bit-for-bit
+/// equal by construction. An optional single-precision tier ([`F32Scorer`])
+/// can be derived from a trained model for serving workloads.
 ///
 /// # Example
 ///
@@ -237,6 +325,11 @@ pub struct LinUcb {
     config: LinUcbConfig,
     arms: Vec<Arm>,
     observations: u64,
+    /// Flat scoring mirror of all arms (inverse + cached θ), element-major.
+    /// Derived state: re-synced from `arms` after every mutation.
+    arena: ScoreArena,
+    /// Buffer for recomputing θ during arena syncs; always `d` long.
+    theta_scratch: Vec<f64>,
 }
 
 impl LinUcb {
@@ -270,11 +363,38 @@ impl LinUcb {
         let arms = (0..config.num_actions)
             .map(|_| Arm::new(config.context_dimension, config.regularizer))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
+        let arena = ScoreArena::new(config.num_actions, config.context_dimension)?;
+        let mut policy = Self {
             config,
             arms,
             observations: 0,
-        })
+            arena,
+            theta_scratch: vec![0.0; config.context_dimension],
+        };
+        for idx in 0..policy.config.num_actions {
+            policy.sync_arm(idx)?;
+        }
+        Ok(policy)
+    }
+
+    /// Re-derives arm `idx`'s scoring lanes (inverse mirror + cached θ) from
+    /// its `RankOneInverse` source of truth. Must be called after every
+    /// mutation of that arm; every mutating method in this impl does so.
+    ///
+    /// θ is recomputed with the exact `A⁻¹ b` matvec the historical path ran
+    /// at selection time, so cached and recomputed values are bit-identical.
+    fn sync_arm(&mut self, idx: usize) -> Result<(), BanditError> {
+        let Self {
+            arms,
+            arena,
+            theta_scratch,
+            ..
+        } = self;
+        let arm = &arms[idx];
+        arm.inverse
+            .solve_into(arm.reward_vector.as_slice(), theta_scratch)?;
+        arena.load_arm(idx, arm.inverse.inverse(), theta_scratch)?;
+        Ok(())
     }
 
     /// The configuration the policy was built with.
@@ -307,12 +427,37 @@ impl LinUcb {
     /// Upper-confidence-bound scores for every arm under `context`.
     ///
     /// Exposed so that callers (e.g. the evaluation harness) can inspect the
-    /// full score vector instead of just the argmax.
+    /// full score vector instead of just the argmax. Computed from the
+    /// scoring arena; bit-for-bit equal to [`LinUcb::scores_reference`].
     ///
     /// # Errors
     ///
     /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized contexts.
     pub fn scores(&self, context: &Vector) -> Result<Vec<f64>, BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        let mut scratch = ScoreScratch::new();
+        let mut out = vec![0.0; self.config.num_actions];
+        self.arena.ucb_scores_into(
+            context.as_slice(),
+            self.config.alpha,
+            &mut scratch,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// Upper-confidence-bound scores via the historical scalar path: per arm,
+    /// solve `θ_a = A_a⁻¹ b_a`, take `θ_aᵀx`, and add `α·√(xᵀA_a⁻¹x)`.
+    ///
+    /// This is the pre-arena implementation, preserved verbatim as the f64
+    /// source of truth. The arena path ([`LinUcb::scores`]) performs the
+    /// identical floating-point sequence per arm and must stay bit-for-bit
+    /// equal; tests and the `select` benchmark pin that equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized contexts.
+    pub fn scores_reference(&self, context: &Vector) -> Result<Vec<f64>, BanditError> {
         check_context(self.config.context_dimension, context)?;
         self.arms
             .iter()
@@ -359,13 +504,15 @@ impl LinUcb {
     pub fn update_coalesced(&mut self, update: &CoalescedUpdate) -> Result<(), BanditError> {
         check_context(self.config.context_dimension, update.context())?;
         check_action(self.config.num_actions, update.action())?;
-        let arm = &mut self.arms[update.action().index()];
+        let idx = update.action().index();
+        let arm = &mut self.arms[idx];
         arm.inverse
             .update_weighted(update.context(), update.count() as f64)?;
         arm.reward_vector
             .axpy(update.reward_sum(), update.context())?;
         arm.pulls += update.count();
         self.observations += update.count();
+        self.sync_arm(idx)?;
         Ok(())
     }
 
@@ -395,13 +542,96 @@ impl LinUcb {
     ///
     /// This is what lets many agents select actions against one shared,
     /// immutable model snapshot (e.g. behind an `Arc`) without cloning it;
-    /// [`ContextualPolicy::select_action`] delegates here.
+    /// [`ContextualPolicy::select_action`] delegates here. Allocates a small
+    /// local scratch per call — per-round callers should hold a
+    /// [`SelectScratch`] and use [`LinUcb::select_action_with`] instead.
     ///
     /// # Errors
     ///
     /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized
     /// contexts.
     pub fn select_action_ref(
+        &self,
+        context: &Vector,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Action, BanditError> {
+        let mut scratch = SelectScratch::new();
+        self.select_action_with(context, rng, &mut scratch)
+    }
+
+    /// Allocation-free action selection: scores every arm against `context`
+    /// in one pass over the flat scoring arena, using caller-provided
+    /// scratch buffers.
+    ///
+    /// Selections are bit-for-bit identical to the historical scalar path
+    /// ([`LinUcb::select_action_reference`]): per arm the floating-point
+    /// sequence matches exactly, and the tie-breaking consumes randomness in
+    /// the same pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized
+    /// contexts.
+    pub fn select_action_with(
+        &self,
+        context: &Vector,
+        rng: &mut dyn rand::RngCore,
+        scratch: &mut SelectScratch,
+    ) -> Result<Action, BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        scratch.scores.resize(self.config.num_actions, 0.0);
+        self.arena.ucb_scores_into(
+            context.as_slice(),
+            self.config.alpha,
+            &mut scratch.inner,
+            &mut scratch.scores[..self.config.num_actions],
+        )?;
+        Ok(pick_best(
+            &scratch.scores[..self.config.num_actions],
+            &mut scratch.ties,
+            self.config.num_actions,
+            rng,
+        ))
+    }
+
+    /// Batched multi-candidate selection: selects one action per context in
+    /// `contexts`, reusing the same scratch buffers across the whole batch.
+    ///
+    /// Selected actions are appended to `out` (which is cleared first) in
+    /// input order, and randomness is consumed context by context, exactly
+    /// as repeated [`LinUcb::select_action_with`] calls would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for the first
+    /// mis-sized context; earlier selections stay in `out`.
+    pub fn select_actions_with(
+        &self,
+        contexts: &[Vector],
+        rng: &mut dyn rand::RngCore,
+        scratch: &mut SelectScratch,
+        out: &mut Vec<Action>,
+    ) -> Result<(), BanditError> {
+        out.clear();
+        out.reserve(contexts.len());
+        for context in contexts {
+            out.push(self.select_action_with(context, rng, scratch)?);
+        }
+        Ok(())
+    }
+
+    /// The historical scalar selection path, preserved verbatim: one arm at
+    /// a time (solve, dot, quadratic form — two temporary vectors per arm),
+    /// then the shared tie-breaking rule.
+    ///
+    /// Kept as the bit-exact reference the arena path is pinned against and
+    /// as the baseline the `select` benchmark measures speedups from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized
+    /// contexts.
+    pub fn select_action_reference(
         &self,
         context: &Vector,
         rng: &mut dyn rand::RngCore,
@@ -464,7 +694,113 @@ impl LinUcb {
             mine.pulls += theirs.pulls;
         }
         self.observations += other.observations;
+        for idx in 0..self.config.num_actions {
+            self.sync_arm(idx)?;
+        }
         Ok(())
+    }
+}
+
+/// Single-precision scoring tier derived from a trained [`LinUcb`] model.
+///
+/// The scorer snapshots the model's scoring arena into `f32` lanes once at
+/// construction; it is read-only and never updated — all learning stays in
+/// `f64` on the [`LinUcb`] source of truth, and a fresh scorer is derived
+/// whenever the model changes (e.g. per served snapshot epoch).
+///
+/// Scores carry ~1e-7 relative error versus the f64 path, so chosen actions
+/// agree whenever the best arm leads by more than f32 noise; the
+/// tie-breaking rule (and its randomness consumption) is shared with the
+/// f64 path via the same internal argmax.
+///
+/// # Example
+///
+/// ```
+/// use p2b_bandit::{F32Scorer, LinUcb, LinUcbConfig, SelectScratchF32};
+/// use p2b_linalg::Vector;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), p2b_bandit::BanditError> {
+/// let model = LinUcb::new(LinUcbConfig::new(2, 3))?;
+/// let scorer = F32Scorer::new(&model);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut scratch = SelectScratchF32::new();
+/// let action = scorer.select_action_with(&Vector::from(vec![0.5, 0.5]), &mut rng, &mut scratch)?;
+/// assert!(action.index() < 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct F32Scorer {
+    config: LinUcbConfig,
+    arena: ScoreArenaF32,
+}
+
+impl F32Scorer {
+    /// Derives an f32 scoring tier from the model's current state.
+    #[must_use]
+    pub fn new(model: &LinUcb) -> Self {
+        Self {
+            config: model.config,
+            arena: ScoreArenaF32::from_f64(&model.arena),
+        }
+    }
+
+    /// The configuration of the model this scorer was derived from.
+    #[must_use]
+    pub fn config(&self) -> &LinUcbConfig {
+        &self.config
+    }
+
+    /// Upper-confidence-bound scores for every arm, computed in `f32` and
+    /// widened to `f64`, written into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized
+    /// contexts and [`BanditError::Linalg`] if `out` is mis-sized.
+    pub fn scores_into(
+        &self,
+        context: &Vector,
+        scratch: &mut SelectScratchF32,
+        out: &mut [f64],
+    ) -> Result<(), BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        self.arena.ucb_scores_into(
+            context.as_slice(),
+            self.config.alpha,
+            &mut scratch.inner,
+            out,
+        )?;
+        Ok(())
+    }
+
+    /// Allocation-free single-precision action selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::ContextDimensionMismatch`] for mis-sized
+    /// contexts.
+    pub fn select_action_with(
+        &self,
+        context: &Vector,
+        rng: &mut dyn rand::RngCore,
+        scratch: &mut SelectScratchF32,
+    ) -> Result<Action, BanditError> {
+        check_context(self.config.context_dimension, context)?;
+        scratch.scores.resize(self.config.num_actions, 0.0);
+        self.arena.ucb_scores_into(
+            context.as_slice(),
+            self.config.alpha,
+            &mut scratch.inner,
+            &mut scratch.scores[..self.config.num_actions],
+        )?;
+        Ok(pick_best(
+            &scratch.scores[..self.config.num_actions],
+            &mut scratch.ties,
+            self.config.num_actions,
+            rng,
+        ))
     }
 }
 
@@ -496,6 +832,7 @@ impl ContextualPolicy for LinUcb {
         check_reward(reward)?;
         self.arms[action.index()].update(context, reward)?;
         self.observations += 1;
+        self.sync_arm(action.index())?;
         Ok(())
     }
 

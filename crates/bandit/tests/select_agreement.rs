@@ -1,0 +1,211 @@
+//! Agreement pins between the LinUCB scoring paths.
+//!
+//! Three paths exist after the raw-speed pass on the select hot path:
+//!
+//! 1. the historical scalar reference (`scores_reference` /
+//!    `select_action_reference`) — the f64 source of truth,
+//! 2. the flat arena path (`scores` / `select_action_with` /
+//!    `select_action_ref` and the trait `select_action`), which must be
+//!    **bit-for-bit** equal to the reference,
+//! 3. the derived f32 tier ([`F32Scorer`]), whose *chosen actions* are
+//!    pinned against the f64 path across golden seeds.
+
+use p2b_bandit::{
+    ContextualPolicy, F32Scorer, LinUcb, LinUcbConfig, SelectScratch, SelectScratchF32,
+};
+use p2b_linalg::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Trains a LinUCB model on a deterministic synthetic stream.
+fn train(d: usize, a: usize, rounds: usize, seed: u64) -> LinUcb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut policy = LinUcb::new(LinUcbConfig::new(d, a)).unwrap();
+    for _ in 0..rounds {
+        let ctx = random_context(d, &mut rng);
+        let action = policy.select_action(&ctx, &mut rng).unwrap();
+        let reward = if action.index() == ctx.argmax().unwrap_or(0) % a {
+            1.0
+        } else {
+            0.0
+        };
+        policy.update(&ctx, action, reward).unwrap();
+    }
+    policy
+}
+
+fn random_context(d: usize, rng: &mut StdRng) -> Vector {
+    let raw: Vector = (0..d).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+    raw.normalized_l1().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The proptest extension of `select_action_ref_agrees_with_the_trait_path`:
+    /// over random dims, arm counts, training lengths and seeds, the trait
+    /// path, the scratch path and the scalar reference path must pick the
+    /// same action given identical RNG streams — and the score vectors must
+    /// be bit-identical.
+    #[test]
+    fn all_select_paths_agree_over_random_models(
+        seed in any::<u64>(),
+        d in 1usize..8,
+        a in 1usize..10,
+        rounds in 0usize..40,
+    ) {
+        let mut policy = train(d, a, rounds, seed);
+        let frozen = policy.clone();
+        let mut scratch = SelectScratch::new();
+        let mut ctx_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut rng_trait = StdRng::seed_from_u64(seed.wrapping_mul(3).wrapping_add(7));
+        let mut rng_with = rng_trait.clone();
+        let mut rng_reference = rng_trait.clone();
+        for _ in 0..12 {
+            let ctx = random_context(d, &mut ctx_rng);
+
+            let scores = frozen.scores(&ctx).unwrap();
+            let reference = frozen.scores_reference(&ctx).unwrap();
+            for (arm, (s, r)) in scores.iter().zip(reference.iter()).enumerate() {
+                prop_assert_eq!(
+                    s.to_bits(),
+                    r.to_bits(),
+                    "arena score for arm {} diverged from the scalar reference",
+                    arm
+                );
+            }
+
+            let via_trait = policy.select_action(&ctx, &mut rng_trait).unwrap();
+            let via_with = frozen
+                .select_action_with(&ctx, &mut rng_with, &mut scratch)
+                .unwrap();
+            let via_reference = frozen
+                .select_action_reference(&ctx, &mut rng_reference)
+                .unwrap();
+            prop_assert_eq!(via_trait, via_with);
+            prop_assert_eq!(via_with, via_reference);
+        }
+        // All three paths must have consumed randomness identically.
+        prop_assert_eq!(&rng_trait, &rng_with);
+        prop_assert_eq!(&rng_with, &rng_reference);
+    }
+
+    /// The batched variant consumes randomness and picks actions exactly as
+    /// repeated single-context selections would.
+    #[test]
+    fn batched_selection_matches_sequential(
+        seed in any::<u64>(),
+        d in 1usize..6,
+        a in 1usize..8,
+        n in 1usize..10,
+    ) {
+        let policy = train(d, a, 20, seed);
+        let mut ctx_rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+        let contexts: Vec<Vector> = (0..n).map(|_| random_context(d, &mut ctx_rng)).collect();
+
+        let mut scratch = SelectScratch::new();
+        let mut rng_batch = StdRng::seed_from_u64(seed.wrapping_mul(5).wrapping_add(3));
+        let mut rng_seq = rng_batch.clone();
+
+        let mut batch = Vec::new();
+        policy
+            .select_actions_with(&contexts, &mut rng_batch, &mut scratch, &mut batch)
+            .unwrap();
+        let sequential: Vec<_> = contexts
+            .iter()
+            .map(|ctx| {
+                policy
+                    .select_action_with(ctx, &mut rng_seq, &mut scratch)
+                    .unwrap()
+            })
+            .collect();
+        prop_assert_eq!(batch, sequential);
+        prop_assert_eq!(&rng_batch, &rng_seq);
+    }
+}
+
+/// The f32 tier's *chosen actions* are pinned against the f64 path across
+/// golden seeds: deterministic models, deterministic contexts, identical RNG
+/// streams. (Scores differ by ~1e-7 relative error, but the argmax — what
+/// the system actually serves — must not.)
+#[test]
+fn f32_tier_chosen_actions_match_f64_on_golden_seeds() {
+    for seed in [0u64, 7, 42, 1234, 99991] {
+        let policy = train(6, 8, 300, seed);
+        let scorer = F32Scorer::new(&policy);
+        let mut scratch64 = SelectScratch::new();
+        let mut scratch32 = SelectScratchF32::new();
+        let mut ctx_rng = StdRng::seed_from_u64(seed.wrapping_add(17));
+        let mut rng64 = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(1));
+        let mut rng32 = rng64.clone();
+        for round in 0..200 {
+            let ctx = random_context(6, &mut ctx_rng);
+            let a64 = policy
+                .select_action_with(&ctx, &mut rng64, &mut scratch64)
+                .unwrap();
+            let a32 = scorer
+                .select_action_with(&ctx, &mut rng32, &mut scratch32)
+                .unwrap();
+            assert_eq!(
+                a64, a32,
+                "seed {seed}, round {round}: f32 tier chose a different action"
+            );
+        }
+        assert_eq!(rng64, rng32, "seed {seed}: RNG streams diverged");
+    }
+}
+
+/// Cold-start models tie across all arms in both tiers: the f32 widening
+/// preserves exact equality, so the shared tie-breaking consumes the same
+/// randomness and picks the same arm.
+#[test]
+fn f32_tier_matches_f64_on_cold_start_ties() {
+    let policy = LinUcb::new(LinUcbConfig::new(4, 10)).unwrap();
+    let scorer = F32Scorer::new(&policy);
+    let ctx = Vector::from(vec![0.25; 4]);
+    let mut scratch64 = SelectScratch::new();
+    let mut scratch32 = SelectScratchF32::new();
+    let mut rng64 = StdRng::seed_from_u64(5);
+    let mut rng32 = StdRng::seed_from_u64(5);
+    for _ in 0..50 {
+        let a64 = policy
+            .select_action_with(&ctx, &mut rng64, &mut scratch64)
+            .unwrap();
+        let a32 = scorer
+            .select_action_with(&ctx, &mut rng32, &mut scratch32)
+            .unwrap();
+        assert_eq!(a64, a32);
+    }
+}
+
+/// Negative shape tests: the scratch-based paths return typed errors, never
+/// panic, for mis-sized contexts.
+#[test]
+fn scratch_paths_reject_mis_sized_contexts() {
+    let policy = train(3, 4, 10, 1);
+    let scorer = F32Scorer::new(&policy);
+    let mut scratch = SelectScratch::new();
+    let mut scratch32 = SelectScratchF32::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let wrong = Vector::zeros(2);
+    assert!(policy
+        .select_action_with(&wrong, &mut rng, &mut scratch)
+        .is_err());
+    assert!(scorer
+        .select_action_with(&wrong, &mut rng, &mut scratch32)
+        .is_err());
+    assert!(policy.scores(&wrong).is_err());
+    assert!(policy.scores_reference(&wrong).is_err());
+    let mut out = Vec::new();
+    assert!(policy
+        .select_actions_with(
+            &[Vector::zeros(3), Vector::zeros(5)],
+            &mut rng,
+            &mut scratch,
+            &mut out
+        )
+        .is_err());
+    // The well-formed prefix was still selected.
+    assert_eq!(out.len(), 1);
+}

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the three LinUCB scoring paths over identical
+//! trained models:
+//!
+//! * `reference` — the historical per-arm scalar path (allocates two
+//!   vectors per arm per decision), kept as the f64 source of truth;
+//! * `arena_f64` — the flat element-major score arena with caller-provided
+//!   scratch buffers (allocation-free, bit-identical to the reference);
+//! * `arena_f32` — the derived single-precision scoring tier.
+//!
+//! The `throughput --select` binary measures the same three paths end to
+//! end and records the speedups in `BENCH_select.json`; this bench gives
+//! per-decision latencies under criterion's measurement loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2b_bandit::{
+    ContextualPolicy, F32Scorer, LinUcb, LinUcbConfig, SelectScratch, SelectScratchF32,
+};
+use p2b_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Model shapes spanning the paper's experiment grid: small frequent
+/// decisions up to the wide-code regime.
+const SHAPES: [(usize, usize); 3] = [(10usize, 10usize), (16, 50), (32, 100)];
+
+fn random_context(dimension: usize, rng: &mut StdRng) -> Vector {
+    let raw: Vec<f64> = (0..dimension).map(|_| rng.gen::<f64>()).collect();
+    Vector::from(raw).normalized_l1().expect("non-empty")
+}
+
+/// Pre-trains a model so every path scores non-trivial statistics.
+fn trained(dimension: usize, actions: usize) -> LinUcb {
+    let mut rng = StdRng::seed_from_u64(dimension as u64 * 31 + actions as u64);
+    let mut policy = LinUcb::new(LinUcbConfig::new(dimension, actions)).unwrap();
+    for _ in 0..300 {
+        let ctx = random_context(dimension, &mut rng);
+        let action = policy.select_action(&ctx, &mut rng).unwrap();
+        policy
+            .update(&ctx, action, f64::from(rng.gen_range(0..2u8)))
+            .unwrap();
+    }
+    policy
+}
+
+fn bench_select_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_reference");
+    for &(dimension, actions) in &SHAPES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{dimension}_a{actions}")),
+            &(dimension, actions),
+            |b, &(dimension, actions)| {
+                let policy = trained(dimension, actions);
+                let mut rng = StdRng::seed_from_u64(1);
+                let ctx = random_context(dimension, &mut rng);
+                b.iter(|| policy.select_action_reference(&ctx, &mut rng).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_select_arena_f64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_arena_f64");
+    for &(dimension, actions) in &SHAPES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{dimension}_a{actions}")),
+            &(dimension, actions),
+            |b, &(dimension, actions)| {
+                let policy = trained(dimension, actions);
+                let mut rng = StdRng::seed_from_u64(1);
+                let ctx = random_context(dimension, &mut rng);
+                let mut scratch = SelectScratch::new();
+                b.iter(|| {
+                    policy
+                        .select_action_with(&ctx, &mut rng, &mut scratch)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_select_arena_f32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_arena_f32");
+    for &(dimension, actions) in &SHAPES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{dimension}_a{actions}")),
+            &(dimension, actions),
+            |b, &(dimension, actions)| {
+                let policy = trained(dimension, actions);
+                let scorer = F32Scorer::new(&policy);
+                let mut rng = StdRng::seed_from_u64(1);
+                let ctx = random_context(dimension, &mut rng);
+                let mut scratch = SelectScratchF32::new();
+                b.iter(|| {
+                    scorer
+                        .select_action_with(&ctx, &mut rng, &mut scratch)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select_reference,
+    bench_select_arena_f64,
+    bench_select_arena_f32
+);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! The local P2B agent: LinUCB + encoder + randomized reporter.
 
 use crate::{CodeRepresentation, CoreError, ModelSnapshot, P2bConfig, RandomizedReporter};
-use p2b_bandit::{Action, ContextualPolicy, LinUcb, LinUcbConfig};
+use p2b_bandit::{Action, ContextualPolicy, LinUcb, LinUcbConfig, SelectScratch};
 use p2b_encoding::Encoder;
 use p2b_linalg::Vector;
 use p2b_privacy::{amplified_epsilon, PrivacyAccountant, PrivacyGuarantee};
@@ -114,11 +114,13 @@ impl DormantAgent {
 }
 
 /// Approximate heap footprint of a LinUCB policy: per action one `d × d`
-/// design matrix, its inverse, and two `d`-vectors of `f64`s.
+/// design matrix, its inverse, the flat score-arena mirror of that inverse,
+/// and three `d`-vectors of `f64`s (reward vector, cached θ lane, update
+/// scratch).
 fn approx_linucb_bytes(policy: &LinUcb) -> usize {
     let d = policy.config().context_dimension;
     let actions = policy.config().num_actions;
-    actions * (2 * d * d + 2 * d) * std::mem::size_of::<f64>()
+    actions * (3 * d * d + 3 * d) * std::mem::size_of::<f64>()
 }
 
 /// A local agent running on a (simulated) user device.
@@ -145,6 +147,10 @@ pub struct LocalAgent {
     per_report_guarantee: PrivacyGuarantee,
     pending: Vec<RawReport>,
     interactions: u64,
+    /// Reused buffers for allocation-free selection. Pure scratch: carries no
+    /// behavioral state, is not persisted by [`LocalAgent::dehydrate`], and a
+    /// rehydrated agent simply starts with cold buffers.
+    scratch: SelectScratch,
 }
 
 impl LocalAgent {
@@ -191,6 +197,7 @@ impl LocalAgent {
             per_report_guarantee,
             pending: Vec::new(),
             interactions: 0,
+            scratch: SelectScratch::new(),
         })
     }
 
@@ -279,8 +286,13 @@ impl LocalAgent {
     ) -> Result<Action, CoreError> {
         let model_context = self.model_context(raw_context)?;
         // Selection never mutates the statistics, so it reads through the
-        // shared snapshot for as long as the agent has one.
-        Ok(self.policy().select_action_ref(&model_context, rng)?)
+        // shared snapshot for as long as the agent has one. The agent-owned
+        // scratch buffers make the per-decision path allocation-free.
+        let policy = match &self.policy {
+            AgentPolicy::Shared(snapshot) => snapshot.model(),
+            AgentPolicy::Owned(policy) => policy,
+        };
+        Ok(policy.select_action_with(&model_context, rng, &mut self.scratch)?)
     }
 
     /// Feeds back the observed reward, updates the local policy, and lets the
@@ -424,6 +436,7 @@ impl LocalAgent {
             per_report_guarantee: dormant.per_report_guarantee,
             pending: Vec::new(),
             interactions: dormant.interactions,
+            scratch: SelectScratch::new(),
         })
     }
 

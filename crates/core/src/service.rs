@@ -41,8 +41,9 @@
 
 use crate::CoreError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use p2b_bandit::{BanditError, CoalescedUpdate, LinUcb, LinUcbConfig};
+use p2b_bandit::{BanditError, CoalescedUpdate, F32Scorer, LinUcb, LinUcbConfig};
 use std::fmt;
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
 
 /// An immutable, epoch-versioned snapshot of the central model.
@@ -55,13 +56,22 @@ use std::thread::JoinHandle;
 pub struct ModelSnapshot {
     epoch: u64,
     model: LinUcb,
+    /// Lazily derived single-precision scoring tier, built at most once per
+    /// snapshot the first time a caller asks for it. Agents' default select
+    /// path stays on the f64 model — the determinism goldens pin that path —
+    /// so the derivation cost is only paid by callers that opt in.
+    f32_scorer: OnceLock<F32Scorer>,
 }
 
 impl ModelSnapshot {
     /// Wraps an assembled model with its epoch. Snapshots are published by
     /// [`crate::CentralServer::snapshot`].
     pub(crate) fn new(epoch: u64, model: LinUcb) -> Self {
-        Self { epoch, model }
+        Self {
+            epoch,
+            model,
+            f32_scorer: OnceLock::new(),
+        }
     }
 
     /// The ingestion epoch this snapshot was assembled at.
@@ -74,6 +84,17 @@ impl ModelSnapshot {
     #[must_use]
     pub fn model(&self) -> &LinUcb {
         &self.model
+    }
+
+    /// The snapshot's single-precision scoring tier, derived from the f64
+    /// model on first use and shared by every subsequent caller.
+    ///
+    /// The snapshot is immutable, so the derived scorer can never go stale;
+    /// the f64 [`ModelSnapshot::model`] remains the source of truth and the
+    /// path the reproduction's determinism goldens exercise.
+    #[must_use]
+    pub fn f32_scorer(&self) -> &F32Scorer {
+        self.f32_scorer.get_or_init(|| F32Scorer::new(&self.model))
     }
 }
 
@@ -365,6 +386,66 @@ mod tests {
         assert_eq!(model.pulls(Action::new(0)).unwrap(), 10);
         assert_eq!(model.pulls(Action::new(1)).unwrap(), 2);
         assert_eq!(model.observations(), 12);
+    }
+
+    #[test]
+    fn snapshot_f32_scorer_is_built_once_and_agrees_with_the_model() {
+        use p2b_bandit::{SelectScratch, SelectScratchF32};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let service = ModelService::spawn(LinUcbConfig::new(2, 4), 2).unwrap();
+        service
+            .ingest(vec![
+                update(0, 5, 4.0),
+                update(2, 7, 7.0),
+                update(3, 1, 1.0),
+            ])
+            .unwrap();
+        let snapshot = ModelSnapshot::new(1, service.assemble().unwrap());
+
+        // Lazy + memoized: both calls hand back the same derived scorer.
+        let first = snapshot.f32_scorer() as *const _;
+        let second = snapshot.f32_scorer() as *const _;
+        assert_eq!(first, second, "scorer must be derived at most once");
+
+        // The derived tier serves the same actions as the f64 model here.
+        let mut rng64 = StdRng::seed_from_u64(11);
+        let mut rng32 = rng64.clone();
+        let mut scratch64 = SelectScratch::new();
+        let mut scratch32 = SelectScratchF32::new();
+        for step in 0..64u64 {
+            let ctx = Vector::from(vec![
+                0.25 + (step % 5) as f64 * 0.1,
+                0.75 - (step % 5) as f64 * 0.1,
+            ]);
+            let a64 = snapshot
+                .model()
+                .select_action_with(&ctx, &mut rng64, &mut scratch64)
+                .unwrap();
+            let a32 = snapshot
+                .f32_scorer()
+                .select_action_with(&ctx, &mut rng32, &mut scratch32)
+                .unwrap();
+            assert_eq!(a64, a32, "f32 tier diverged at step {step}");
+        }
+
+        // Cloned snapshots re-derive their own scorer lazily and still agree.
+        let clone = snapshot.clone();
+        assert_eq!(clone.epoch(), snapshot.epoch());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng_clone = rng.clone();
+        let ctx = Vector::from(vec![0.5, 0.5]);
+        assert_eq!(
+            snapshot
+                .f32_scorer()
+                .select_action_with(&ctx, &mut rng, &mut scratch32)
+                .unwrap(),
+            clone
+                .f32_scorer()
+                .select_action_with(&ctx, &mut rng_clone, &mut scratch32)
+                .unwrap()
+        );
     }
 
     #[test]

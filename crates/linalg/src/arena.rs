@@ -1,0 +1,471 @@
+//! Contiguous, lane-major scoring arenas for batched LinUCB-style scoring.
+//!
+//! A [`ScoreArena`] packs the scoring state of *all* arms of one per-code
+//! model — each arm's inverse design matrix `A_a⁻¹` and its cached ridge
+//! estimate `θ_a = A_a⁻¹ b_a` — into two flat buffers laid out
+//! **element-major** ("structure of arrays"): for every matrix position
+//! `(i, j)` the values of all arms sit next to each other.
+//!
+//! ```text
+//! inv   = [ m₀(0,0) m₁(0,0) … m_{A-1}(0,0) | m₀(0,1) m₁(0,1) … | … ]   (d·d lanes of A)
+//! theta = [ θ₀(0)   θ₁(0)   … θ_{A-1}(0)   | θ₀(1)   θ₁(1)   … | … ]   (d   lanes of A)
+//! ```
+//!
+//! This layout lets [`ScoreArena::ucb_scores_into`] score every arm in a
+//! single sweep over the buffers: the inner loop runs across arms, so each
+//! arm owns an independent accumulator and the floating-point dependency
+//! chain that serializes the classic one-arm-at-a-time loop disappears,
+//! while every load is sequential in memory.
+//!
+//! **Determinism invariant:** for each individual arm the sequence of
+//! floating-point operations is *identical* to the scalar reference path
+//! (`matvec` row by row, then a dot product, then `estimate + α·√bonus`),
+//! so arena scores are bit-for-bit equal to the scalar scores. The f64
+//! arena is a derived *view* of the `RankOneInverse` state — the f64
+//! reference path remains the source of truth.
+
+use crate::{LinalgError, Matrix};
+
+/// Reusable scratch for [`ScoreArena::ucb_scores_into`]: three `f64` lanes of
+/// length `arms`. Buffers grow on demand and are never shrunk.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    rowacc: Vec<f64>,
+    qf: Vec<f64>,
+    est: Vec<f64>,
+}
+
+impl ScoreScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, arms: usize) {
+        if self.rowacc.len() < arms {
+            self.rowacc.resize(arms, 0.0);
+            self.qf.resize(arms, 0.0);
+            self.est.resize(arms, 0.0);
+        }
+    }
+}
+
+/// Flat, element-major scoring arena over all arms of one model (`f64`).
+///
+/// See the [module documentation](self) for the layout and the determinism
+/// invariant. Arms are loaded with [`ScoreArena::load_arm`] whenever the
+/// backing `RankOneInverse` state changes and scored with
+/// [`ScoreArena::ucb_scores_into`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreArena {
+    arms: usize,
+    dim: usize,
+    /// Element-major inverses: entry `(i, j)` of arm `a` lives at
+    /// `(i·dim + j)·arms + a`.
+    inv: Vec<f64>,
+    /// Element-major ridge estimates: entry `i` of arm `a` lives at
+    /// `i·arms + a`.
+    theta: Vec<f64>,
+}
+
+impl ScoreArena {
+    /// Creates a zeroed arena for `arms` arms of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if `arms == 0` or `dim == 0`.
+    pub fn new(arms: usize, dim: usize) -> Result<Self, LinalgError> {
+        if arms == 0 || dim == 0 {
+            return Err(LinalgError::Empty);
+        }
+        Ok(Self {
+            arms,
+            dim,
+            inv: vec![0.0; arms * dim * dim],
+            theta: vec![0.0; arms * dim],
+        })
+    }
+
+    /// Number of arms the arena holds.
+    #[must_use]
+    pub fn arms(&self) -> usize {
+        self.arms
+    }
+
+    /// Per-arm dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scatters one arm's inverse and cached `θ` into the arena lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `arm` is out of range,
+    /// `inverse` is not `dim × dim`, or `theta.len() != dim`.
+    pub fn load_arm(
+        &mut self,
+        arm: usize,
+        inverse: &Matrix,
+        theta: &[f64],
+    ) -> Result<(), LinalgError> {
+        if arm >= self.arms {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.arms, 1),
+                found: (arm + 1, 1),
+            });
+        }
+        if inverse.rows() != self.dim || inverse.cols() != self.dim {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.dim, self.dim),
+                found: (inverse.rows(), inverse.cols()),
+            });
+        }
+        if theta.len() != self.dim {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.dim, 1),
+                found: (theta.len(), 1),
+            });
+        }
+        let arms = self.arms;
+        for (k, &value) in inverse.as_slice().iter().enumerate() {
+            self.inv[k * arms + arm] = value;
+        }
+        for (i, &value) in theta.iter().enumerate() {
+            self.theta[i * arms + arm] = value;
+        }
+        Ok(())
+    }
+
+    /// Reads back one arm's cached `θ` entry (test and debug helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` or `i` is out of range.
+    #[must_use]
+    pub fn theta_entry(&self, arm: usize, i: usize) -> f64 {
+        assert!(arm < self.arms && i < self.dim, "index out of bounds");
+        self.theta[i * self.arms + arm]
+    }
+
+    /// Scores all arms against one context in a single pass:
+    /// `out[a] = θ_aᵀx + α·√(max(0, xᵀ A_a⁻¹ x))`.
+    ///
+    /// Allocation-free given a warm `scratch`. Per arm, the floating-point
+    /// sequence is identical to the scalar reference (row-major `matvec`,
+    /// dot product, `estimate + α·bonus`), so the scores are bit-for-bit
+    /// equal to scoring each arm individually.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.dim()`
+    /// or `out.len() != self.arms()`.
+    pub fn ucb_scores_into(
+        &self,
+        x: &[f64],
+        alpha: f64,
+        scratch: &mut ScoreScratch,
+        out: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        if x.len() != self.dim {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.dim, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.arms {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.arms, 1),
+                found: (out.len(), 1),
+            });
+        }
+        let arms = self.arms;
+        scratch.ensure(arms);
+        let rowacc = &mut scratch.rowacc[..arms];
+        let qf = &mut scratch.qf[..arms];
+        let est = &mut scratch.est[..arms];
+        qf.fill(0.0);
+        est.fill(0.0);
+        // Quadratic forms: qf[a] = Σᵢ xᵢ·(Σⱼ m_a(i,j)·xⱼ), accumulated in the
+        // same row-then-total order as the scalar matvec + dot reference.
+        for (i, &xi) in x.iter().enumerate() {
+            rowacc.fill(0.0);
+            for (j, &xj) in x.iter().enumerate() {
+                let lane = &self.inv[(i * self.dim + j) * arms..][..arms];
+                for (acc, &m) in rowacc.iter_mut().zip(lane) {
+                    *acc += m * xj;
+                }
+            }
+            for (q, &acc) in qf.iter_mut().zip(rowacc.iter()) {
+                *q += xi * acc;
+            }
+        }
+        // Point estimates: est[a] = θ_aᵀ x.
+        for (i, &xi) in x.iter().enumerate() {
+            let lane = &self.theta[i * arms..][..arms];
+            for (e, &t) in est.iter_mut().zip(lane) {
+                *e += t * xi;
+            }
+        }
+        for ((o, &e), &q) in out.iter_mut().zip(est.iter()).zip(qf.iter()) {
+            *o = e + alpha * q.max(0.0).sqrt();
+        }
+        Ok(())
+    }
+}
+
+/// Flat, element-major scoring arena in single precision.
+///
+/// A *derived*, read-only tier converted from `f64` state: updates always
+/// happen in `f64` and the f64 path remains the source of truth. The f32
+/// tier halves memory traffic and doubles SIMD width for serving workloads
+/// that tolerate ~1e-7 relative score error; scores are widened back to
+/// `f64` so downstream tie-breaking logic is shared with the f64 path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreArenaF32 {
+    arms: usize,
+    dim: usize,
+    inv: Vec<f32>,
+    theta: Vec<f32>,
+}
+
+/// Reusable scratch for [`ScoreArenaF32::ucb_scores_into`].
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratchF32 {
+    x: Vec<f32>,
+    rowacc: Vec<f32>,
+    qf: Vec<f32>,
+    est: Vec<f32>,
+}
+
+impl ScoreScratchF32 {
+    /// Creates an empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, arms: usize, dim: usize) {
+        if self.rowacc.len() < arms {
+            self.rowacc.resize(arms, 0.0);
+            self.qf.resize(arms, 0.0);
+            self.est.resize(arms, 0.0);
+        }
+        if self.x.len() < dim {
+            self.x.resize(dim, 0.0);
+        }
+    }
+}
+
+impl ScoreArenaF32 {
+    /// Creates a zeroed f32 arena for `arms` arms of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if `arms == 0` or `dim == 0`.
+    pub fn new(arms: usize, dim: usize) -> Result<Self, LinalgError> {
+        if arms == 0 || dim == 0 {
+            return Err(LinalgError::Empty);
+        }
+        Ok(Self {
+            arms,
+            dim,
+            inv: vec![0.0; arms * dim * dim],
+            theta: vec![0.0; arms * dim],
+        })
+    }
+
+    /// Converts an f64 arena into the f32 tier (one narrowing pass).
+    #[must_use]
+    pub fn from_f64(arena: &ScoreArena) -> Self {
+        Self {
+            arms: arena.arms,
+            dim: arena.dim,
+            inv: arena.inv.iter().map(|&v| v as f32).collect(),
+            theta: arena.theta.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Number of arms the arena holds.
+    #[must_use]
+    pub fn arms(&self) -> usize {
+        self.arms
+    }
+
+    /// Per-arm dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scores all arms against one context in a single pass, computing in
+    /// `f32` and widening the final scores to `f64` for shared tie-breaking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.dim()`
+    /// or `out.len() != self.arms()`.
+    pub fn ucb_scores_into(
+        &self,
+        x: &[f64],
+        alpha: f64,
+        scratch: &mut ScoreScratchF32,
+        out: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        if x.len() != self.dim {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.dim, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.arms {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.arms, 1),
+                found: (out.len(), 1),
+            });
+        }
+        let arms = self.arms;
+        scratch.ensure(arms, self.dim);
+        let xs = &mut scratch.x[..self.dim];
+        for (narrow, &wide) in xs.iter_mut().zip(x.iter()) {
+            *narrow = wide as f32;
+        }
+        let rowacc = &mut scratch.rowacc[..arms];
+        let qf = &mut scratch.qf[..arms];
+        let est = &mut scratch.est[..arms];
+        qf.fill(0.0);
+        est.fill(0.0);
+        let alpha = alpha as f32;
+        for i in 0..self.dim {
+            rowacc.fill(0.0);
+            for (j, &xj) in xs.iter().enumerate() {
+                let lane = &self.inv[(i * self.dim + j) * arms..][..arms];
+                for (acc, &m) in rowacc.iter_mut().zip(lane) {
+                    *acc += m * xj;
+                }
+            }
+            let xi = xs[i];
+            for (q, &acc) in qf.iter_mut().zip(rowacc.iter()) {
+                *q += xi * acc;
+            }
+        }
+        for (i, &xi) in xs.iter().enumerate() {
+            let lane = &self.theta[i * arms..][..arms];
+            for (e, &t) in est.iter_mut().zip(lane) {
+                *e += t * xi;
+            }
+        }
+        for ((o, &e), &q) in out.iter_mut().zip(est.iter()).zip(qf.iter()) {
+            *o = f64::from(e + alpha * q.max(0.0).sqrt());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RankOneInverse, Vector};
+
+    fn trained_arena(arms: usize, dim: usize) -> (ScoreArena, Vec<RankOneInverse>, Vec<Vector>) {
+        let mut arena = ScoreArena::new(arms, dim).unwrap();
+        let mut inverses = Vec::new();
+        let mut rewards = Vec::new();
+        for a in 0..arms {
+            let mut inv = RankOneInverse::identity(dim, 1.0).unwrap();
+            let mut b = Vector::zeros(dim);
+            for t in 0..5 {
+                let x: Vector = (0..dim)
+                    .map(|k| ((a * 31 + t * 7 + k * 3) % 11) as f64 / 11.0)
+                    .collect();
+                inv.update(&x).unwrap();
+                b.axpy(((a + t) % 3) as f64 / 2.0, &x).unwrap();
+            }
+            let theta = inv.solve(&b).unwrap();
+            arena.load_arm(a, inv.inverse(), theta.as_slice()).unwrap();
+            inverses.push(inv);
+            rewards.push(b);
+        }
+        (arena, inverses, rewards)
+    }
+
+    #[test]
+    fn arena_scores_are_bit_identical_to_the_scalar_reference() {
+        let (arena, inverses, rewards) = trained_arena(7, 6);
+        let x: Vector = (0..6).map(|k| (k as f64 + 0.5) / 6.0).collect();
+        let alpha = 0.25;
+        let mut scratch = ScoreScratch::new();
+        let mut out = vec![0.0; 7];
+        arena
+            .ucb_scores_into(x.as_slice(), alpha, &mut scratch, &mut out)
+            .unwrap();
+        for (a, inv) in inverses.iter().enumerate() {
+            // The historical scalar path: solve, dot, quadratic form.
+            let theta = inv.solve(&rewards[a]).unwrap();
+            let estimate = theta.dot(&x).unwrap();
+            let bonus = inv.quadratic_form(&x).unwrap().max(0.0).sqrt();
+            let reference = estimate + alpha * bonus;
+            assert_eq!(
+                out[a].to_bits(),
+                reference.to_bits(),
+                "arm {a} diverged from the scalar reference"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_tier_tracks_the_f64_scores() {
+        let (arena, _, _) = trained_arena(5, 8);
+        let fast = ScoreArenaF32::from_f64(&arena);
+        let x: Vector = (0..8).map(|k| (k as f64 * 0.13).sin().abs()).collect();
+        let mut s64 = ScoreScratch::new();
+        let mut s32 = ScoreScratchF32::new();
+        let mut out64 = vec![0.0; 5];
+        let mut out32 = vec![0.0; 5];
+        arena
+            .ucb_scores_into(x.as_slice(), 0.5, &mut s64, &mut out64)
+            .unwrap();
+        fast.ucb_scores_into(x.as_slice(), 0.5, &mut s32, &mut out32)
+            .unwrap();
+        for (a, (w, n)) in out64.iter().zip(out32.iter()).enumerate() {
+            let scale = w.abs().max(1.0);
+            assert!(
+                (w - n).abs() <= 1e-5 * scale,
+                "arm {a}: f32 score {n} too far from f64 score {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_sized_arenas_and_bad_shapes() {
+        assert!(matches!(ScoreArena::new(0, 4), Err(LinalgError::Empty)));
+        assert!(matches!(ScoreArena::new(4, 0), Err(LinalgError::Empty)));
+        let mut arena = ScoreArena::new(2, 3).unwrap();
+        let id = Matrix::identity(3);
+        assert!(arena.load_arm(2, &id, &[0.0; 3]).is_err());
+        assert!(arena.load_arm(0, &Matrix::identity(2), &[0.0; 3]).is_err());
+        assert!(arena.load_arm(0, &id, &[0.0; 2]).is_err());
+        let mut scratch = ScoreScratch::new();
+        let mut out = vec![0.0; 2];
+        assert!(arena
+            .ucb_scores_into(&[0.0; 2], 1.0, &mut scratch, &mut out)
+            .is_err());
+        let mut short = vec![0.0; 1];
+        assert!(arena
+            .ucb_scores_into(&[0.0; 3], 1.0, &mut scratch, &mut short)
+            .is_err());
+    }
+
+    #[test]
+    fn load_arm_round_trips_theta() {
+        let mut arena = ScoreArena::new(3, 2).unwrap();
+        arena
+            .load_arm(1, &Matrix::identity(2), &[0.25, -0.75])
+            .unwrap();
+        assert_eq!(arena.theta_entry(1, 0), 0.25);
+        assert_eq!(arena.theta_entry(1, 1), -0.75);
+        assert_eq!(arena.theta_entry(0, 0), 0.0);
+    }
+}

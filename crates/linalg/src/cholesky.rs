@@ -92,6 +92,23 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let mut out = vec![0.0; self.dim()];
+        self.solve_into(b.as_slice(), &mut out)?;
+        Ok(Vector::from(out))
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer without allocating.
+    ///
+    /// The forward-substitution intermediate is written into `out` and then
+    /// overwritten in place by the backward substitution (position `i` of the
+    /// intermediate is last read at step `i`, so a single buffer suffices).
+    /// The arithmetic sequence matches [`Cholesky::solve`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` or `out.len()`
+    /// differs from `self.dim()`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -99,25 +116,31 @@ impl Cholesky {
                 found: (b.len(), 1),
             });
         }
-        // Forward substitution: L y = b.
-        let mut y = vec![0.0; n];
+        if out.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                found: (out.len(), 1),
+            });
+        }
+        let l = self.lower.as_slice();
+        // Forward substitution: L y = b, y written into `out`.
         for i in 0..n {
             let mut sum = b[i];
-            for (k, &y_k) in y.iter().enumerate().take(i) {
-                sum -= self.lower.get(i, k) * y_k;
+            let row = &l[i * n..i * n + i];
+            for (lk, y_k) in row.iter().zip(out.iter()) {
+                sum -= lk * y_k;
             }
-            y[i] = sum / self.lower.get(i, i);
+            out[i] = sum / l[i * n + i];
         }
-        // Backward substitution: Lᵀ x = y.
-        let mut x = vec![0.0; n];
+        // Backward substitution: Lᵀ x = y, in place over `out`.
         for i in (0..n).rev() {
-            let mut sum = y[i];
-            for (k, &x_k) in x.iter().enumerate().take(n).skip(i + 1) {
-                sum -= self.lower.get(k, i) * x_k;
+            let mut sum = out[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i] * out[k];
             }
-            x[i] = sum / self.lower.get(i, i);
+            out[i] = sum / l[i * n + i];
         }
-        Ok(Vector::from(x))
+        Ok(())
     }
 
     /// Computes the full inverse `A⁻¹` by solving against each basis vector.
@@ -128,12 +151,17 @@ impl Cholesky {
     pub fn inverse(&self) -> Matrix {
         let n = self.dim();
         let mut inv = Matrix::zeros(n, n);
+        let mut basis = vec![0.0; n];
+        let mut col = vec![0.0; n];
         for j in 0..n {
-            let col = self
-                .solve(&Vector::basis(n, j))
-                .expect("basis vector has matching dimension");
-            for i in 0..n {
-                inv.set(i, j, col[i]);
+            basis[j] = 1.0;
+            // Both buffers are sized to `n` by construction, so this cannot
+            // fail; the binding keeps the invariant checked in debug builds.
+            let solved = self.solve_into(&basis, &mut col);
+            debug_assert!(solved.is_ok(), "basis vector has matching dimension");
+            basis[j] = 0.0;
+            for (i, &value) in col.iter().enumerate() {
+                inv.set(i, j, value);
             }
         }
         inv
@@ -206,6 +234,32 @@ mod tests {
         for i in 0..3 {
             assert!(approx_eq(back[i], b[i]));
         }
+    }
+
+    #[test]
+    fn solve_into_is_bit_identical_to_solve() {
+        let a = spd_matrix();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Vector::from(vec![0.9, -1.7, 0.45]);
+        let expected = chol.solve(&b).unwrap();
+        let mut out = vec![0.0; 3];
+        chol.solve_into(b.as_slice(), &mut out).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn solve_into_rejects_mismatched_buffers() {
+        let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        let mut short = vec![0.0; 2];
+        let mut ok = vec![0.0; 3];
+        assert!(matches!(
+            chol.solve_into(&[1.0, 0.0, 0.0], &mut short),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            chol.solve_into(&[1.0, 0.0], &mut ok),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::{Cholesky, LinalgError, Matrix, Vector};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RankOneInverse {
     inverse: Matrix,
     updates: u64,
@@ -40,6 +40,46 @@ pub struct RankOneInverse {
     refresh_interval: u64,
     /// Running design matrix `A`, kept to allow periodic exact refreshes.
     design: Matrix,
+    /// Reusable buffer for `A⁻¹x` so the per-round fold allocates nothing.
+    /// Pure scratch: excluded from equality.
+    ax_scratch: Vec<f64>,
+}
+
+/// Equality compares the tracked state only (inverse, design, counters);
+/// the scratch buffer is transient and intentionally ignored.
+impl PartialEq for RankOneInverse {
+    fn eq(&self, other: &Self) -> bool {
+        self.inverse == other.inverse
+            && self.updates == other.updates
+            && self.regularizer == other.regularizer
+            && self.refresh_interval == other.refresh_interval
+            && self.design == other.design
+    }
+}
+
+/// Applies the Sherman–Morrison correction `M ← M − scale·(ax)(ax)ᵀ/denom`
+/// over the flat storage of `inverse`.
+///
+/// The `scale == 1.0` case uses the literal unscaled expression so the plain
+/// rank-1 update keeps the exact floating-point sequence it has always had.
+fn sherman_morrison_step(inverse: &mut Matrix, ax: &[f64], scale: f64, denom: f64) {
+    let n = ax.len();
+    let data = inverse.as_mut_slice();
+    if scale == 1.0 {
+        for (i, row) in data.chunks_exact_mut(n).enumerate() {
+            let axi = ax[i];
+            for (entry, &axj) in row.iter_mut().zip(ax.iter()) {
+                *entry -= axi * axj / denom;
+            }
+        }
+    } else {
+        for (i, row) in data.chunks_exact_mut(n).enumerate() {
+            let axi = ax[i];
+            for (entry, &axj) in row.iter_mut().zip(ax.iter()) {
+                *entry -= scale * axi * axj / denom;
+            }
+        }
+    }
 }
 
 impl RankOneInverse {
@@ -69,6 +109,7 @@ impl RankOneInverse {
             regularizer,
             refresh_interval: Self::DEFAULT_REFRESH_INTERVAL,
             design: Matrix::identity(dim).scaled(regularizer),
+            ax_scratch: vec![0.0; dim],
         })
     }
 
@@ -85,6 +126,7 @@ impl RankOneInverse {
             regularizer: 1.0,
             refresh_interval: Self::DEFAULT_REFRESH_INTERVAL,
             design: a.clone(),
+            ax_scratch: vec![0.0; a.rows()],
         })
     }
 
@@ -128,14 +170,28 @@ impl RankOneInverse {
         self.inverse.matvec(b)
     }
 
+    /// Computes `A⁻¹ b` into a caller-provided buffer (allocation-free
+    /// variant of [`RankOneInverse::solve`], bit-identical result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`
+    /// or `out.len() != self.dim()`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        self.inverse.matvec_into(b, out)
+    }
+
     /// Evaluates the quadratic form `xᵀ A⁻¹ x`.
+    ///
+    /// Uses the fused single-pass kernel ([`Matrix::quadratic_form`]), which
+    /// performs the exact floating-point sequence of the historical
+    /// matvec-then-dot implementation without the intermediate allocation.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.dim()`.
     pub fn quadratic_form(&self, x: &Vector) -> Result<f64, LinalgError> {
-        let ax = self.inverse.matvec(x)?;
-        x.dot(&ax)
+        self.inverse.quadratic_form(x.as_slice())
     }
 
     /// Applies the rank-1 update `A ← A + x xᵀ`, maintaining the inverse.
@@ -148,16 +204,19 @@ impl RankOneInverse {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.dim()`.
     pub fn update(&mut self, x: &Vector) -> Result<(), LinalgError> {
-        let ax = self.inverse.matvec(x)?;
-        let denom = 1.0 + x.dot(&ax)?;
-        // denom = 1 + x' A^{-1} x > 0 for SPD A, so this never divides by zero.
-        let n = self.dim();
-        for i in 0..n {
-            for j in 0..n {
-                let v = self.inverse.get(i, j) - ax[i] * ax[j] / denom;
-                self.inverse.set(i, j, v);
-            }
+        let dim = self.dim();
+        if self.ax_scratch.len() != dim {
+            self.ax_scratch.resize(dim, 0.0);
         }
+        self.inverse
+            .matvec_into(x.as_slice(), &mut self.ax_scratch)?;
+        let mut xax = 0.0;
+        for (a, b) in x.iter().zip(self.ax_scratch.iter()) {
+            xax += a * b;
+        }
+        let denom = 1.0 + xax;
+        // denom = 1 + x' A^{-1} x > 0 for SPD A, so this never divides by zero.
+        sherman_morrison_step(&mut self.inverse, &self.ax_scratch, 1.0, denom);
         self.design.add_outer_product(x, 1.0)?;
         self.updates += 1;
         if self.updates % self.refresh_interval == 0 {
@@ -196,16 +255,19 @@ impl RankOneInverse {
         if weight == 1.0 {
             return self.update(x);
         }
-        let ax = self.inverse.matvec(x)?;
-        let denom = 1.0 + weight * x.dot(&ax)?;
-        // denom = 1 + w·xᵀA⁻¹x > 0 for SPD A and w > 0: never a division by 0.
-        let n = self.dim();
-        for i in 0..n {
-            for j in 0..n {
-                let v = self.inverse.get(i, j) - weight * ax[i] * ax[j] / denom;
-                self.inverse.set(i, j, v);
-            }
+        let dim = self.dim();
+        if self.ax_scratch.len() != dim {
+            self.ax_scratch.resize(dim, 0.0);
         }
+        self.inverse
+            .matvec_into(x.as_slice(), &mut self.ax_scratch)?;
+        let mut xax = 0.0;
+        for (a, b) in x.iter().zip(self.ax_scratch.iter()) {
+            xax += a * b;
+        }
+        let denom = 1.0 + weight * xax;
+        // denom = 1 + w·xᵀA⁻¹x > 0 for SPD A and w > 0: never a division by 0.
+        sherman_morrison_step(&mut self.inverse, &self.ax_scratch, weight, denom);
         self.design.add_outer_product(x, weight)?;
         self.updates += 1;
         if self.updates % self.refresh_interval == 0 {

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod arena;
 mod cholesky;
 mod error;
 mod incremental;
@@ -35,6 +36,7 @@ mod matrix;
 mod stats;
 mod vector;
 
+pub use arena::{ScoreArena, ScoreArenaF32, ScoreScratch, ScoreScratchF32};
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use incremental::RankOneInverse;

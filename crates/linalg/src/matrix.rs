@@ -164,28 +164,99 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrows the flat row-major storage.
+    ///
+    /// Hot-path callers (the rank-one fold, the scoring arena sync) use this
+    /// to update entries without per-element bounds checks; the shape is
+    /// fixed at construction so the invariant `data.len() == rows * cols`
+    /// always holds.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Matrix–vector product.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &Vector) -> Result<Vector, LinalgError> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x.as_slice(), &mut out)?;
+        Ok(Vector::from(out))
+    }
+
+    /// Matrix–vector product written into a caller-provided buffer.
+    ///
+    /// Allocation-free variant of [`Matrix::matvec`] for per-round callers
+    /// (scoring, the Sherman–Morrison fold, snapshot assembly). The
+    /// accumulation order is identical to `matvec`, so results are
+    /// bit-for-bit equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`
+    /// or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
         if x.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
                 expected: (self.cols, 1),
                 found: (x.len(), 1),
             });
         }
-        let mut out = Vec::with_capacity(self.rows);
-        for r in 0..self.rows {
-            let row = self.row(r);
+        if out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            out.push(acc);
+            *o = acc;
         }
-        Ok(Vector::from(out))
+        Ok(())
+    }
+
+    /// Fused quadratic form `xᵀ M x` without intermediate allocation.
+    ///
+    /// Each row product is accumulated left-to-right and folded into the
+    /// total in row order — exactly the sequence of operations performed by
+    /// `matvec` followed by a dot product — so the result is bit-for-bit
+    /// identical to the two-step computation. This invariant is what lets
+    /// the scoring hot path use the fused form while the determinism goldens
+    /// stay byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if the matrix is not square and
+    /// [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn quadratic_form(&self, x: &[f64]) -> Result<f64, LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut total = 0.0;
+        for (r, &xr) in x.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            total += xr * acc;
+        }
+        Ok(total)
     }
 
     /// Transposed matrix–vector product `Aᵀ x`.
@@ -325,11 +396,11 @@ impl Matrix {
                 found: (x.len(), 1),
             });
         }
-        for i in 0..self.rows {
-            let xi = x[i];
-            for j in 0..self.cols {
-                let v = self.get(i, j) + scale * xi * x[j];
-                self.set(i, j, v);
+        let xs = x.as_slice();
+        for (i, row) in self.data.chunks_exact_mut(self.cols).enumerate() {
+            let xi = xs[i];
+            for (entry, &xj) in row.iter_mut().zip(xs.iter()) {
+                *entry += scale * xi * xj;
             }
         }
         Ok(())
@@ -412,6 +483,65 @@ mod tests {
         let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
         let v = Vector::from(vec![1.0, 0.0, -1.0]);
         assert_eq!(m.matvec(&v).unwrap().as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_into_is_bit_identical_to_matvec() {
+        let m = Matrix::from_rows(&[
+            vec![0.1, 0.2, 0.3],
+            vec![0.4, 0.5, 0.6],
+            vec![0.7, 0.8, 0.9],
+        ])
+        .unwrap();
+        let v = Vector::from(vec![1.5, -2.5, 3.25]);
+        let expected = m.matvec(&v).unwrap();
+        let mut out = vec![0.0; 3];
+        m.matvec_into(v.as_slice(), &mut out).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn matvec_into_rejects_mismatched_shapes() {
+        let m = Matrix::zeros(2, 3);
+        let mut out2 = vec![0.0; 2];
+        let mut out3 = vec![0.0; 3];
+        // Wrong input length.
+        assert!(matches!(
+            m.matvec_into(&[1.0, 2.0], &mut out2),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        // Wrong output length.
+        assert!(matches!(
+            m.matvec_into(&[1.0, 2.0, 3.0], &mut out3),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn quadratic_form_is_bit_identical_to_matvec_then_dot() {
+        let m = Matrix::from_rows(&[
+            vec![2.0, 0.3, -0.1],
+            vec![0.3, 1.5, 0.2],
+            vec![-0.1, 0.2, 0.9],
+        ])
+        .unwrap();
+        let v = Vector::from(vec![0.7, -1.3, 2.1]);
+        let ax = m.matvec(&v).unwrap();
+        let two_step = v.dot(&ax).unwrap();
+        let fused = m.quadratic_form(v.as_slice()).unwrap();
+        assert_eq!(fused.to_bits(), two_step.to_bits());
+    }
+
+    #[test]
+    fn quadratic_form_rejects_bad_shapes() {
+        assert!(matches!(
+            Matrix::zeros(2, 3).quadratic_form(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Matrix::zeros(3, 3).quadratic_form(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
