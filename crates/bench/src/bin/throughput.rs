@@ -1,805 +1,37 @@
-//! Serving-path throughput: shuffler-engine shard scaling and central-model
-//! ingest scaling.
+//! Deprecated serving-path throughput entry point.
 //!
-//! **Part 1 — engine scaling.** Submits the same multi-producer report
-//! stream to a [`p2b_shuffler::ShufflerEngine`] configured with 1, 2, 4 and
-//! 8 shards and reports end-to-end throughput (submission through
-//! merged-batch delivery), plus the speedup over the single-shard baseline.
+//! The three ad-hoc parts this binary used to run — shuffler-engine shard
+//! scaling + central-model ingest scaling, bounded agent-pool serving, and
+//! single-decision LinUCB select throughput — are now modes of the
+//! `p2b-serve` harness (`--mode ingest|pool|select`), driven by the shared
+//! skewed arrival process. This shim keeps the historical flags working:
 //!
-//! **Part 2 — ingest scaling.** Replays the same shuffled batches into a
-//! [`p2b_core::CentralServer`] through its two ingestion paths:
+//! * `throughput --pool`   → `p2b-serve --mode pool`
+//! * `throughput --select` → `p2b-serve --mode select`
+//! * `throughput`          → the historical default sequence
+//!   (engine+ingest, then pool, then select)
 //!
-//! * `sequential` — the historical reference: one model update per report
-//!   (context vectors memoized per batch);
-//! * `coalesced` — the model-service path: batches grouped by
-//!   `(code, action)` into weighted sufficient-statistics updates,
-//!   dispatched to 1, 2 or 4 ingest shards.
-//!
-//! The stream reuses each `(code, action)` pair heavily (≥ 10×), which is
-//! what real shuffled batches look like after crowd-blending thresholding —
-//! every released code appears at least `l` times by construction — and is
-//! exactly the regime the coalescing ingester exploits.
-//!
-//! **Part 3 — agent-pool serving.** Drives a bounded
-//! [`p2b_core::AgentPool`] with a skewed context-code stream (80% of the
-//! traffic on 20% of the codes) at several residency budgets and storage
-//! shard counts, measuring checkout/interact/checkin throughput, eviction
-//! and rehydration rates, and the resident-model memory ceiling the budget
-//! enforces.
-//!
-//! **Part 4 — single-decision select throughput.** Times the three LinUCB
-//! scoring paths over identical trained models at several `(d, actions)`
-//! shapes:
-//!
-//! * `reference` — the historical per-arm scalar path (two allocations per
-//!   arm per decision), preserved verbatim as the f64 source of truth;
-//! * `arena_f64` — the flat element-major score arena with reusable scratch
-//!   buffers (allocation-free and **bit-identical** to the reference — the
-//!   run asserts the two paths pick the same action stream);
-//! * `arena_f32` — the derived single-precision scoring tier.
-//!
-//! Parts 1–2 are written to `BENCH_ingest.json`, part 3 to
-//! `BENCH_pool.json`, part 4 to `BENCH_select.json` (all machine-readable,
-//! all archived by CI); the smoke configuration is selected with
-//! `P2B_SCALE=quick`, and `--pool`/`--select` run only their part. Run with:
-//!
-//! ```sh
-//! cargo run --release -p p2b-bench --bin throughput
-//! P2B_SCALE=full cargo run --release -p p2b-bench --bin throughput
-//! P2B_SCALE=quick cargo run --release -p p2b-bench --bin throughput -- --pool
-//! P2B_SCALE=quick cargo run --release -p p2b-bench --bin throughput -- --select
-//! ```
+//! Output artifacts (`BENCH_ingest.json`, `BENCH_pool.json`,
+//! `BENCH_select.json`) are unchanged. New callers should invoke
+//! `p2b-serve` directly; `--mode full` adds the closed-loop service with
+//! latency SLOs that this binary never had.
 
-use p2b_bandit::{
-    ContextualPolicy, F32Scorer, LinUcb, LinUcbConfig, SelectScratch, SelectScratchF32,
-};
-use p2b_bench::Scale;
-use p2b_core::{AgentPool, AgentPoolConfig, CentralServer, P2bConfig, P2bSystem};
-use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder};
-use p2b_linalg::Vector;
-use p2b_shuffler::{
-    EncodedReport, RawReport, ShuffledBatch, Shuffler, ShufflerConfig, ShufflerEngine,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
-use std::sync::Arc;
-use std::time::Instant;
-
-/// Producer threads submitting concurrently in every configuration.
-const PRODUCERS: usize = 8;
-/// Distinct encoded context codes in the synthetic stream.
-const CODES: usize = 64;
-/// Actions in the synthetic stream.
-const ACTIONS: usize = 10;
-/// Crowd-blending threshold (the paper's default `l`).
-const THRESHOLD: usize = 10;
-/// Context dimension of the ingest benchmark's central model.
-const DIMENSION: usize = 16;
-
-fn producer_stream(producer: usize, reports: usize) -> Vec<RawReport> {
-    let mut rng = StdRng::seed_from_u64(producer as u64 + 1);
-    (0..reports)
-        .map(|i| {
-            let code = rng.gen_range(0..CODES);
-            let action = rng.gen_range(0..ACTIONS);
-            RawReport::with_timestamp(
-                format!("producer-{producer}"),
-                i as u64,
-                EncodedReport::new(code, action, f64::from(rng.gen_range(0..2u8)))
-                    .expect("rewards 0/1 are valid"),
-            )
-        })
-        .collect()
-}
-
-/// One measured configuration, serialized into `BENCH_ingest.json`.
-#[derive(Debug, Serialize)]
-struct BenchRecord {
-    /// `"engine"` (part 1) or `"ingest"` (part 2).
-    stage: String,
-    /// `"sharded"` for the engine, `"sequential"`/`"coalesced"` for ingest.
-    mode: String,
-    shards: usize,
-    batch_size: usize,
-    reports: usize,
-    batches: usize,
-    wall_secs: f64,
-    reports_per_sec: f64,
-    /// Speedup over the stage's single-threaded baseline.
-    speedup: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct BenchOutput {
-    scale: String,
-    hardware_threads: usize,
-    /// Mean reports per distinct `(code, action)` pair in the ingest stream
-    /// — the code-reuse factor the coalescer exploits.
-    ingest_code_reuse: f64,
-    records: Vec<BenchRecord>,
-}
-
-struct RunResult {
-    shards: usize,
-    wall_secs: f64,
-    reports_per_sec: f64,
-    batches: usize,
-    released: usize,
-}
-
-fn run_engine(shards: usize, streams: &[Vec<RawReport>], batch_size: usize) -> RunResult {
-    let engine = ShufflerEngine::builder(ShufflerConfig::new(THRESHOLD))
-        .shards(shards)
-        .batch_size(batch_size)
-        .shard_queue_capacity(batch_size)
-        .build()
-        .expect("static configuration is valid");
-    let total: usize = streams.iter().map(Vec::len).sum();
-
-    let start = Instant::now();
-    let handle = engine.spawn(42);
-    std::thread::scope(|scope| {
-        for stream in streams {
-            let handle_ref = &handle;
-            scope.spawn(move || {
-                for report in stream.iter().cloned() {
-                    handle_ref
-                        .submit(report)
-                        .expect("engine stays open during the run");
-                }
-            });
-        }
-    });
-    let output = handle.finish();
-    let wall_secs = start.elapsed().as_secs_f64();
-
-    let received: usize = output
-        .batches
-        .iter()
-        .map(|b| b.batch.stats().received)
-        .sum();
-    assert_eq!(received, total, "the engine must conserve every report");
-    RunResult {
-        shards,
-        wall_secs,
-        reports_per_sec: total as f64 / wall_secs,
-        batches: output.batches.len(),
-        released: output
-            .batches
-            .iter()
-            .map(|b| b.batch.stats().released)
-            .sum(),
-    }
-}
-
-/// Fits the k-means encoder the ingest benchmark's server validates against.
-fn fit_encoder() -> Arc<dyn Encoder> {
-    let mut rng = StdRng::seed_from_u64(7);
-    let corpus: Vec<Vector> = (0..CODES * 8)
-        .map(|i| {
-            let mut raw = vec![0.05; DIMENSION];
-            raw[i % DIMENSION] = 1.0 + 0.05 * ((i / DIMENSION) % 7) as f64;
-            raw[(i / 3) % DIMENSION] += 0.25;
-            Vector::from(raw).normalized_l1().expect("non-empty")
-        })
-        .collect();
-    Arc::new(
-        KMeansEncoder::fit(
-            &corpus,
-            KMeansConfig::new(CODES).with_iterations(10),
-            &mut rng,
-        )
-        .expect("corpus is larger than k"),
-    )
-}
-
-/// Builds the shuffled batches every ingest configuration replays: heavy
-/// `(code, action)` reuse, exactly like post-threshold production batches.
-fn ingest_batches(num_codes: usize, batch_size: usize, batches: usize) -> Vec<ShuffledBatch> {
-    let shuffler = Shuffler::new(ShufflerConfig::new(1)).expect("threshold 1 is valid");
-    let mut rng = StdRng::seed_from_u64(99);
-    (0..batches)
-        .map(|b| {
-            let raw: Vec<RawReport> = (0..batch_size)
-                .map(|i| {
-                    let code = rng.gen_range(0..num_codes);
-                    let action = rng.gen_range(0..ACTIONS);
-                    RawReport::with_timestamp(
-                        format!("b{b}"),
-                        i as u64,
-                        EncodedReport::new(code, action, f64::from(rng.gen_range(0..2u8)))
-                            .expect("rewards 0/1 are valid"),
-                    )
-                })
-                .collect();
-            shuffler.process(raw, &mut rng)
-        })
-        .collect()
-}
-
-enum IngestMode {
-    Sequential,
-    Coalesced { ingest_shards: usize },
-}
-
-fn run_ingest(mode: &IngestMode, encoder: &Arc<dyn Encoder>, batches: &[ShuffledBatch]) -> f64 {
-    let shards = match mode {
-        IngestMode::Sequential => 1,
-        IngestMode::Coalesced { ingest_shards } => *ingest_shards,
-    };
-    let config = P2bConfig::new(DIMENSION, ACTIONS).with_ingest_shards(shards);
-    let mut server =
-        CentralServer::new(&config, Arc::clone(encoder)).expect("static configuration is valid");
-    let start = Instant::now();
-    let mut accepted = 0u64;
-    for batch in batches {
-        accepted += match mode {
-            IngestMode::Sequential => server.ingest_batch(batch),
-            IngestMode::Coalesced { .. } => server.ingest_batch_coalesced(batch),
-        }
-        .expect("well-formed batches ingest cleanly");
-    }
-    // Synchronize with the ingest shards: assembling the model waits for
-    // every dispatched update to be folded, so the timing covers the work.
-    let model = server.model().expect("assembly succeeds");
-    let wall = start.elapsed().as_secs_f64();
-    assert_eq!(model.observations(), accepted, "no update may be lost");
-    wall
-}
-
-/// One measured pool configuration, serialized into `BENCH_pool.json`.
-#[derive(Debug, Serialize)]
-struct PoolBenchRecord {
-    /// `"bounded"` or `"unbounded"`.
-    mode: String,
-    /// Residency budget (0 = unbounded).
-    budget: usize,
-    shards: usize,
-    ops: usize,
-    wall_secs: f64,
-    ops_per_sec: f64,
-    evictions: u64,
-    rehydrations: u64,
-    hit_rate: f64,
-    max_resident: usize,
-    /// Peak approximate bytes of model state owned by resident agents.
-    peak_resident_model_bytes: usize,
-    /// Speedup over the unbounded single-shard baseline.
-    speedup: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct PoolBenchOutput {
-    scale: String,
-    hardware_threads: usize,
-    codes: usize,
-    hot_fraction: f64,
-    records: Vec<PoolBenchRecord>,
-}
-
-/// A skewed key stream: `hot_share` of the traffic lands on the first
-/// `hot_fraction` of the code space — the regime where a small residency
-/// budget still serves most checkouts warm.
-fn pool_key_stream(ops: usize, codes: usize) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(17);
-    let hot_codes = (codes / 5).max(1);
-    (0..ops)
-        .map(|_| {
-            if rng.gen::<f64>() < 0.8 {
-                rng.gen_range(0..hot_codes) as u64
-            } else {
-                rng.gen_range(hot_codes..codes) as u64
-            }
-        })
-        .collect()
-}
-
-fn pool_system() -> P2bSystem {
-    let config = P2bConfig::new(DIMENSION, ACTIONS).with_local_interactions(4);
-    P2bSystem::new(config, fit_encoder()).expect("static configuration is valid")
-}
-
-struct PoolRun {
-    wall_secs: f64,
-    evictions: u64,
-    rehydrations: u64,
-    hit_rate: f64,
-    max_resident: usize,
-    peak_bytes: usize,
-}
-
-/// Drives one pool configuration over the key stream: every operation is a
-/// checkout + selection + local reward fold + checkin; reports funneled
-/// through the pool are drained (and dropped) every 1024 operations, like a
-/// serving loop handing them to the shuffler engine.
-fn run_pool(budget: Option<usize>, shards: usize, keys: &[u64]) -> PoolRun {
-    let mut system = pool_system();
-    let mut pool = AgentPool::new(AgentPoolConfig {
-        max_resident_agents: budget,
-        shards,
-    })
-    .expect("static configuration is valid");
-    let mut rng = StdRng::seed_from_u64(23);
-    let context = Vector::filled(DIMENSION, 1.0 / DIMENSION as f64);
-    let mut max_resident = 0usize;
-    let mut peak_bytes = 0usize;
-    let start = Instant::now();
-    for (i, &key) in keys.iter().enumerate() {
-        pool.with_agent(&mut system, key, |agent| {
-            let action = agent.select_action(&context, &mut rng)?;
-            agent.observe_reward(&context, action, 1.0, &mut rng)
-        })
-        .expect("pool operations succeed");
-        if i % 1024 == 0 {
-            max_resident = max_resident.max(pool.resident_agents());
-            peak_bytes = peak_bytes.max(pool.approx_model_bytes().0);
-            let _ = pool.drain_reports();
-        }
-    }
-    max_resident = max_resident.max(pool.resident_agents());
-    peak_bytes = peak_bytes.max(pool.approx_model_bytes().0);
-    let wall_secs = start.elapsed().as_secs_f64();
-    if let Some(budget) = budget {
-        assert!(
-            max_resident <= budget,
-            "memory ceiling violated: {max_resident} resident > budget {budget}"
-        );
-    }
-    let stats = pool.stats();
-    PoolRun {
-        wall_secs,
-        evictions: stats.evictions,
-        rehydrations: stats.rehydrations,
-        hit_rate: stats.hits as f64 / (stats.hits + stats.misses()).max(1) as f64,
-        max_resident,
-        peak_bytes,
-    }
-}
-
-fn run_pool_part(scale: Scale, cores: usize) {
-    let ops = scale.pick(20_000, 100_000, 400_000);
-    let keys = pool_key_stream(ops, CODES);
-    println!("\nBounded-memory agent pool: checkout/interact/checkin throughput");
-    println!(
-        "{ops} operations over {CODES} context codes (80% of traffic on 20% of codes), \
-         d = {DIMENSION}, {ACTIONS} actions"
-    );
-    println!(
-        "\n{:>10} {:>7} {:>7} {:>10} {:>12} {:>9} {:>8} {:>9} {:>12} {:>8}",
-        "mode",
-        "budget",
-        "shards",
-        "wall (ms)",
-        "ops/s",
-        "evict",
-        "rehydr",
-        "hit rate",
-        "peak bytes",
-        "speedup"
-    );
-    let mut records = Vec::new();
-    let mut baseline = None;
-    let configurations: [(Option<usize>, usize); 7] = [
-        (None, 1),
-        (None, 4),
-        (Some(CODES / 2), 1),
-        (Some(CODES / 8), 1),
-        (Some(CODES / 8), 2),
-        (Some(CODES / 8), 4),
-        (Some(4), 1),
-    ];
-    for (budget, shards) in configurations {
-        let run = run_pool(budget, shards, &keys);
-        let rate = ops as f64 / run.wall_secs;
-        let baseline_rate = *baseline.get_or_insert(rate);
-        let speedup = rate / baseline_rate;
-        let mode = if budget.is_some() {
-            "bounded"
-        } else {
-            "unbounded"
-        };
-        println!(
-            "{:>10} {:>7} {:>7} {:>10.1} {:>12.0} {:>9} {:>8} {:>8.1}% {:>12} {:>7.2}x",
-            mode,
-            budget.unwrap_or(0),
-            shards,
-            run.wall_secs * 1e3,
-            rate,
-            run.evictions,
-            run.rehydrations,
-            run.hit_rate * 100.0,
-            run.peak_bytes,
-            speedup
-        );
-        records.push(PoolBenchRecord {
-            mode: mode.to_owned(),
-            budget: budget.unwrap_or(0),
-            shards,
-            ops,
-            wall_secs: run.wall_secs,
-            ops_per_sec: rate,
-            evictions: run.evictions,
-            rehydrations: run.rehydrations,
-            hit_rate: run.hit_rate,
-            max_resident: run.max_resident,
-            peak_resident_model_bytes: run.peak_bytes,
-            speedup,
-        });
-    }
-    let output = PoolBenchOutput {
-        scale: format!("{scale:?}").to_lowercase(),
-        hardware_threads: cores,
-        codes: CODES,
-        hot_fraction: 0.2,
-        records,
-    };
-    let json = serde_json::to_string_pretty(&output).expect("records serialize");
-    std::fs::write("BENCH_pool.json", json).expect("benchmark artifact is writable");
-    println!("machine-readable results written to BENCH_pool.json");
-}
-
-/// One measured scoring path at one model shape, serialized into
-/// `BENCH_select.json`.
-#[derive(Debug, Serialize)]
-struct SelectBenchRecord {
-    /// `"reference"`, `"arena_f64"` or `"arena_f32"`.
-    path: String,
-    dimension: usize,
-    actions: usize,
-    selects: usize,
-    wall_secs: f64,
-    ns_per_select: f64,
-    /// Speedup over the scalar reference path at the same shape.
-    speedup: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct SelectBenchOutput {
-    scale: String,
-    hardware_threads: usize,
-    /// Best arena-f64 speedup over the scalar reference across shapes.
-    best_speedup_f64: f64,
-    /// Best f32-tier speedup over the scalar reference across shapes.
-    best_speedup_f32: f64,
-    records: Vec<SelectBenchRecord>,
-}
-
-fn select_context(dimension: usize, rng: &mut StdRng) -> Vector {
-    let raw: Vec<f64> = (0..dimension).map(|_| rng.gen_range(0.0f64..1.0)).collect();
-    Vector::from(raw).normalized_l1().expect("non-empty")
-}
-
-/// Pre-trains a model so every path scores non-trivial statistics.
-fn select_model(dimension: usize, actions: usize, rounds: usize) -> LinUcb {
-    let mut rng = StdRng::seed_from_u64(dimension as u64 * 31 + actions as u64);
-    let mut policy = LinUcb::new(LinUcbConfig::new(dimension, actions)).expect("shape is valid");
-    for _ in 0..rounds {
-        let ctx = select_context(dimension, &mut rng);
-        let action = policy
-            .select_action(&ctx, &mut rng)
-            .expect("context is well-formed");
-        policy
-            .update(&ctx, action, f64::from(rng.gen_range(0..2u8)))
-            .expect("context is well-formed");
-    }
-    policy
-}
-
-/// Times `selects` single decisions over a cycled context set; returns the
-/// wall time and the sum of chosen action indices (the correctness sink —
-/// paths that must agree bit-for-bit must produce the same sum).
-fn time_selects<F>(contexts: &[Vector], selects: usize, mut select_one: F) -> (f64, u64)
-where
-    F: FnMut(&Vector) -> usize,
-{
-    let mut sink = 0u64;
-    let start = Instant::now();
-    for i in 0..selects {
-        let ctx = std::hint::black_box(&contexts[i % contexts.len()]);
-        sink = sink.wrapping_add(select_one(ctx) as u64);
-    }
-    (start.elapsed().as_secs_f64(), std::hint::black_box(sink))
-}
-
-fn run_select_part(scale: Scale, cores: usize) {
-    let shapes: [(usize, usize); 3] = [(10, 10), (16, 50), (32, 100)];
-    let rounds = scale.pick(200, 500, 1_000);
-    let selects = scale.pick(5_000, 50_000, 200_000);
-    let distinct_contexts = 64usize;
-
-    println!("\nSingle-decision LinUCB select throughput: scalar reference vs flat arena");
-    println!(
-        "{selects} selects per path over {distinct_contexts} contexts, \
-         models pre-trained for {rounds} rounds"
-    );
-    println!(
-        "\n{:>10} {:>5} {:>8} {:>10} {:>12} {:>12} {:>9}",
-        "path", "d", "actions", "wall (ms)", "ns/select", "selects/s", "speedup"
-    );
-
-    let mut records = Vec::new();
-    let mut best_f64 = 0.0f64;
-    let mut best_f32 = 0.0f64;
-    for (dimension, actions) in shapes {
-        let policy = select_model(dimension, actions, rounds);
-        let scorer = F32Scorer::new(&policy);
-        let mut ctx_rng = StdRng::seed_from_u64(13);
-        let contexts: Vec<Vector> = (0..distinct_contexts)
-            .map(|_| select_context(dimension, &mut ctx_rng))
-            .collect();
-        // Warm-up pass per path so page-cache/branch-predictor effects do
-        // not favor the later configurations.
-        let warmup = (selects / 10).max(1);
-
-        let mut rng = StdRng::seed_from_u64(5);
-        let _ = time_selects(&contexts, warmup, |ctx| {
-            policy
-                .select_action_reference(ctx, &mut rng)
-                .expect("context is well-formed")
-                .index()
-        });
-        let mut rng = StdRng::seed_from_u64(5);
-        let (ref_wall, ref_sink) = time_selects(&contexts, selects, |ctx| {
-            policy
-                .select_action_reference(ctx, &mut rng)
-                .expect("context is well-formed")
-                .index()
-        });
-
-        let mut scratch = SelectScratch::new();
-        let mut rng = StdRng::seed_from_u64(5);
-        let _ = time_selects(&contexts, warmup, |ctx| {
-            policy
-                .select_action_with(ctx, &mut rng, &mut scratch)
-                .expect("context is well-formed")
-                .index()
-        });
-        let mut rng = StdRng::seed_from_u64(5);
-        let (f64_wall, f64_sink) = time_selects(&contexts, selects, |ctx| {
-            policy
-                .select_action_with(ctx, &mut rng, &mut scratch)
-                .expect("context is well-formed")
-                .index()
-        });
-        // The arena path is bit-identical to the reference: same seeds must
-        // give the same action stream.
-        assert_eq!(
-            ref_sink, f64_sink,
-            "arena f64 path diverged from the scalar reference (d={dimension}, a={actions})"
-        );
-
-        let mut scratch32 = SelectScratchF32::new();
-        let mut rng = StdRng::seed_from_u64(5);
-        let _ = time_selects(&contexts, warmup, |ctx| {
-            scorer
-                .select_action_with(ctx, &mut rng, &mut scratch32)
-                .expect("context is well-formed")
-                .index()
-        });
-        let mut rng = StdRng::seed_from_u64(5);
-        let (f32_wall, _) = time_selects(&contexts, selects, |ctx| {
-            scorer
-                .select_action_with(ctx, &mut rng, &mut scratch32)
-                .expect("context is well-formed")
-                .index()
-        });
-
-        for (path, wall) in [
-            ("reference", ref_wall),
-            ("arena_f64", f64_wall),
-            ("arena_f32", f32_wall),
-        ] {
-            let speedup = ref_wall / wall;
-            println!(
-                "{:>10} {:>5} {:>8} {:>10.1} {:>12.1} {:>12.0} {:>8.2}x",
-                path,
-                dimension,
-                actions,
-                wall * 1e3,
-                wall * 1e9 / selects as f64,
-                selects as f64 / wall,
-                speedup
-            );
-            match path {
-                "arena_f64" => best_f64 = best_f64.max(speedup),
-                "arena_f32" => best_f32 = best_f32.max(speedup),
-                _ => {}
-            }
-            records.push(SelectBenchRecord {
-                path: path.to_owned(),
-                dimension,
-                actions,
-                selects,
-                wall_secs: wall,
-                ns_per_select: wall * 1e9 / selects as f64,
-                speedup,
-            });
-        }
-    }
-
-    println!(
-        "\nbest select speedup over the scalar reference: \
-         {best_f64:.2}x (f64 arena), {best_f32:.2}x (f32 tier)"
-    );
-    // The speedup bar CI's smoke job enforces. The arena removes the
-    // per-arm allocations and the redundant θ solve, so even the quick
-    // scale clears this with a wide margin on any hardware; the acceptance
-    // target (≥ 5× at the wide shapes) is recorded in the JSON artifact.
-    assert!(
-        best_f64.max(best_f32) >= 2.0,
-        "select fast path regressed below the 2x floor over the scalar reference"
-    );
-
-    let output = SelectBenchOutput {
-        scale: format!("{scale:?}").to_lowercase(),
-        hardware_threads: cores,
-        best_speedup_f64: best_f64,
-        best_speedup_f32: best_f32,
-        records,
-    };
-    let json = serde_json::to_string_pretty(&output).expect("records serialize");
-    std::fs::write("BENCH_select.json", json).expect("benchmark artifact is writable");
-    println!("machine-readable results written to BENCH_select.json");
-}
+use p2b_bench::serve::{legacy_throughput_modes, run_ingest_mode, run_pool_mode, run_select_mode};
+use p2b_bench::{Scale, ServeMode};
 
 fn main() {
+    eprintln!(
+        "note: `throughput` is deprecated; use `p2b-serve --mode \
+         ingest|pool|select|full` (same artifacts, plus the closed loop)"
+    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_env();
-    let pool_only = std::env::args().any(|a| a == "--pool");
-    let select_only = std::env::args().any(|a| a == "--select");
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    if pool_only {
-        run_pool_part(scale, cores);
-        return;
+    for mode in legacy_throughput_modes(&args) {
+        match mode {
+            ServeMode::Ingest => run_ingest_mode(scale),
+            ServeMode::Pool => run_pool_mode(scale),
+            ServeMode::Select => run_select_mode(scale),
+            ServeMode::Full => unreachable!("the legacy mapping never yields Full"),
+        }
     }
-    if select_only {
-        run_select_part(scale, cores);
-        return;
-    }
-    let mut records = Vec::new();
-
-    // ── Part 1: shuffler-engine shard scaling ────────────────────────────
-    let per_producer = scale.pick(5_000, 50_000, 250_000);
-    let batch_size = scale.pick(1_024, 4_096, 8_192);
-    let total = per_producer * PRODUCERS;
-
-    println!("Sharded shuffler engine throughput");
-    println!(
-        "{total} reports, {PRODUCERS} producers, batch size {batch_size}, \
-         threshold {THRESHOLD}, {cores} hardware threads"
-    );
-    if cores < 4 {
-        println!("warning: fewer than 4 hardware threads; shard scaling will not show here");
-    }
-
-    let streams: Vec<Vec<RawReport>> = (0..PRODUCERS)
-        .map(|p| producer_stream(p, per_producer))
-        .collect();
-
-    // Warm-up pass so allocator and page-cache effects do not favor the
-    // later (multi-shard) runs.
-    let _ = run_engine(1, &streams, batch_size);
-
-    println!(
-        "\n{:>7} {:>10} {:>14} {:>9} {:>10} {:>9}",
-        "shards", "wall (ms)", "reports/s", "batches", "released", "speedup"
-    );
-    let mut baseline = None;
-    for shards in [1usize, 2, 4, 8] {
-        let result = run_engine(shards, &streams, batch_size);
-        let baseline_rate = *baseline.get_or_insert(result.reports_per_sec);
-        let speedup = result.reports_per_sec / baseline_rate;
-        println!(
-            "{:>7} {:>10.1} {:>14.0} {:>9} {:>10} {:>8.2}x",
-            result.shards,
-            result.wall_secs * 1e3,
-            result.reports_per_sec,
-            result.batches,
-            result.released,
-            speedup
-        );
-        records.push(BenchRecord {
-            stage: "engine".to_owned(),
-            mode: "sharded".to_owned(),
-            shards: result.shards,
-            batch_size,
-            reports: total,
-            batches: result.batches,
-            wall_secs: result.wall_secs,
-            reports_per_sec: result.reports_per_sec,
-            speedup,
-        });
-    }
-
-    // ── Part 2: central-model ingest scaling ─────────────────────────────
-    // Pair space sized for ≥ 10× reuse per batch — the post-threshold regime
-    // (every released code appears ≥ l = 10 times by construction).
-    let ingest_batch_size = scale.pick(512, 2_048, 8_192);
-    let ingest_batch_count = scale.pick(8, 16, 32);
-    let ingest_codes = scale.pick(4, 16, CODES);
-    let ingest_total = ingest_batch_size * ingest_batch_count;
-    let reuse = ingest_batch_size as f64 / (ingest_codes * ACTIONS) as f64;
-    println!("\nCentral-model ingestion: sequential vs coalesced sufficient statistics");
-    println!(
-        "{ingest_total} reports in {ingest_batch_count} batches of {ingest_batch_size}, \
-         {ingest_codes} codes x {ACTIONS} actions (~{reuse:.0}x reuse per batch), d = {DIMENSION}"
-    );
-
-    let encoder = fit_encoder();
-    let batches = ingest_batches(ingest_codes, ingest_batch_size, ingest_batch_count);
-    // Warm-up.
-    let _ = run_ingest(
-        &IngestMode::Sequential,
-        &encoder,
-        &batches[..1.min(batches.len())],
-    );
-
-    let modes: [(&str, IngestMode); 4] = [
-        ("sequential", IngestMode::Sequential),
-        ("coalesced", IngestMode::Coalesced { ingest_shards: 1 }),
-        ("coalesced", IngestMode::Coalesced { ingest_shards: 2 }),
-        ("coalesced", IngestMode::Coalesced { ingest_shards: 4 }),
-    ];
-    println!(
-        "\n{:>12} {:>7} {:>10} {:>14} {:>9}",
-        "mode", "shards", "wall (ms)", "reports/s", "speedup"
-    );
-    let mut ingest_baseline = None;
-    for (name, mode) in &modes {
-        let wall_secs = run_ingest(mode, &encoder, &batches);
-        let rate = ingest_total as f64 / wall_secs;
-        let baseline_rate = *ingest_baseline.get_or_insert(rate);
-        let speedup = rate / baseline_rate;
-        let shards = match mode {
-            IngestMode::Sequential => 1,
-            IngestMode::Coalesced { ingest_shards } => *ingest_shards,
-        };
-        println!(
-            "{:>12} {:>7} {:>10.1} {:>14.0} {:>8.2}x",
-            name,
-            shards,
-            wall_secs * 1e3,
-            rate,
-            speedup
-        );
-        records.push(BenchRecord {
-            stage: "ingest".to_owned(),
-            mode: (*name).to_owned(),
-            shards,
-            batch_size: ingest_batch_size,
-            reports: ingest_total,
-            batches: ingest_batch_count,
-            wall_secs,
-            reports_per_sec: rate,
-            speedup,
-        });
-    }
-
-    let coalesced_best = records
-        .iter()
-        .filter(|r| r.stage == "ingest" && r.mode == "coalesced")
-        .map(|r| r.speedup)
-        .fold(0.0f64, f64::max);
-    println!(
-        "\nbest coalesced ingest speedup over sequential per-report ingestion: \
-         {coalesced_best:.2}x"
-    );
-
-    let output = BenchOutput {
-        scale: format!("{scale:?}").to_lowercase(),
-        hardware_threads: cores,
-        ingest_code_reuse: reuse,
-        records,
-    };
-    let json = serde_json::to_string_pretty(&output).expect("records serialize");
-    std::fs::write("BENCH_ingest.json", json).expect("benchmark artifact is writable");
-    println!("machine-readable results written to BENCH_ingest.json");
-
-    // ── Part 3: bounded-memory agent-pool serving ────────────────────────
-    run_pool_part(scale, cores);
-
-    // ── Part 4: single-decision select throughput ────────────────────────
-    run_select_part(scale, cores);
 }

@@ -1,0 +1,318 @@
+//! Mergeable log-bucket latency histogram for the serving harness.
+//!
+//! The serve loop records one latency sample per decision on whichever
+//! worker made the decision; per-worker histograms are then merged into one.
+//! That dictates the design:
+//!
+//! * **Fixed bucket layout, no allocation on record.** HDR-style
+//!   log-linear buckets: values below 2⁵ get exact unit buckets, every
+//!   octave above is split into 2⁵ linear sub-buckets. Any `u64`
+//!   nanosecond value lands in one of [`BUCKET_COUNT`] buckets with
+//!   relative error at most 1/32 (~3%), plenty for p50/p95/p99 bars.
+//! * **Merge = elementwise add.** Because the layout is value-determined
+//!   (not adaptive), merging per-worker histograms is associative,
+//!   commutative and lossless — the merged histogram is identical to one
+//!   that recorded every sample itself. The property suite in
+//!   `tests/histogram_props.rs` pins this.
+//! * **Exact `min`/`max`/`sum` on the side**, so reported extremes and the
+//!   mean are not quantized.
+//!
+//! Quantiles use the nearest-rank convention `rank = ⌊q·(n−1)⌋` and report
+//! the lower bound of the bucket holding that rank (exact `min`/`max` at the
+//! ends), so a reported quantile never exceeds the true one and is within
+//! one bucket (≤ 1/32 relative) below it.
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BUCKET_BITS: u32 = 5;
+/// Number of linear sub-buckets per octave (32).
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// Total number of buckets needed to cover all of `u64`: 32 exact unit
+/// buckets plus 32 sub-buckets for each of the 59 octaves above them (the
+/// top octave's MSB shift runs up to 58, landing the final bucket at index
+/// `58·32 + 63 = 1919`).
+pub const BUCKET_COUNT: usize = ((64 - SUB_BUCKET_BITS + 1) * SUB_BUCKETS as u32) as usize;
+
+/// Index of the bucket a value falls into.
+///
+/// Values below 32 get exact unit buckets; above that, the value's octave
+/// is split into 32 linear sub-buckets.
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros();
+    let shift = top - SUB_BUCKET_BITS;
+    // (value >> shift) is in [32, 64): sub-bucket plus an implicit octave
+    // offset of 32, so octave s occupies indices [32(s+1), 32(s+2)).
+    (shift as usize) * SUB_BUCKETS as usize + (value >> shift) as usize
+}
+
+/// Smallest value that lands in bucket `index` (the value the histogram
+/// reports for quantiles resolved to this bucket).
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    debug_assert!(index < BUCKET_COUNT);
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let shift = index / SUB_BUCKETS - 1;
+    let sub = index - shift * SUB_BUCKETS; // in [32, 64)
+    sub << shift
+}
+
+/// Mergeable log-bucket histogram of `u64` nanosecond samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.record_n(nanos, 1);
+    }
+
+    /// Records `n` occurrences of the same sample value.
+    pub fn record_n(&mut self, nanos: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(nanos)] += n;
+        self.count += n;
+        self.sum += u128::from(nanos) * u128::from(n);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// Lossless: the result is identical to a histogram that recorded both
+    /// sample streams itself, independent of merge order or grouping.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile: the lower bound of the bucket holding rank
+    /// `⌊q·(n−1)⌋`, with exact values at the extremes (`q = 0` reports the
+    /// true min, `q = 1` the true max). Returns 0 on an empty histogram;
+    /// `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).floor() as u64;
+        if rank == 0 {
+            return self.min;
+        }
+        if rank == self.count - 1 {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            seen += bucket_count;
+            if seen > rank {
+                return bucket_lower_bound(index);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the histogram into the serializable summary carried by
+    /// `BENCH_serve.json`.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            min_nanos: self.min(),
+            mean_nanos: self.mean(),
+            p50_nanos: self.quantile(0.50),
+            p95_nanos: self.quantile(0.95),
+            p99_nanos: self.quantile(0.99),
+            max_nanos: self.max(),
+        }
+    }
+}
+
+/// Serializable latency digest: count plus min/mean/p50/p95/p99/max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples behind the digest.
+    pub count: u64,
+    /// Exact smallest sample, nanoseconds.
+    pub min_nanos: u64,
+    /// Exact mean, nanoseconds.
+    pub mean_nanos: f64,
+    /// Median (bucket lower bound), nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th percentile (bucket lower bound), nanoseconds.
+    pub p95_nanos: u64,
+    /// 99th percentile (bucket lower bound), nanoseconds.
+    pub p99_nanos: u64,
+    /// Exact largest sample, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl LatencySummary {
+    /// Copy with every wall-clock-derived field zeroed, keeping only the
+    /// sample count — what golden tests compare, since timings vary run to
+    /// run but the number of measured decisions must not.
+    #[must_use]
+    pub fn redact_timing(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            min_nanos: 0,
+            mean_nanos: 0.0,
+            p50_nanos: 0,
+            p95_nanos: 0,
+            p99_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_exact_below_the_first_octave() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let b = bucket_of(v);
+            assert!(b < BUCKET_COUNT);
+            let lo = bucket_lower_bound(b);
+            assert!(lo <= v, "lower bound {lo} above value {v}");
+            if b + 1 < BUCKET_COUNT {
+                assert!(bucket_lower_bound(b + 1) > v, "value {v} past bucket {b}");
+            }
+            // Relative quantization error is bounded by one sub-bucket.
+            assert!((v - lo) as f64 <= v as f64 / SUB_BUCKETS as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn bucket_lower_bounds_strictly_increase() {
+        for b in 1..BUCKET_COUNT {
+            assert!(bucket_lower_bound(b) > bucket_lower_bound(b - 1), "at {b}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.quantile(0.5), 0);
+        assert_eq!(hist.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_hit_exact_extremes() {
+        let mut hist = LatencyHistogram::new();
+        for v in [7u64, 100, 1_000, 50_000] {
+            hist.record(v);
+        }
+        assert_eq!(hist.quantile(0.0), 7);
+        assert_eq!(hist.quantile(1.0), 50_000);
+        assert_eq!(hist.min(), 7);
+        assert_eq!(hist.max(), 50_000);
+        assert_eq!(hist.count(), 4);
+    }
+
+    #[test]
+    fn summary_redaction_keeps_only_the_count() {
+        let mut hist = LatencyHistogram::new();
+        hist.record_n(123_456, 10);
+        let redacted = hist.summary().redact_timing();
+        assert_eq!(redacted.count, 10);
+        assert_eq!(redacted.max_nanos, 0);
+        assert_eq!(redacted.p99_nanos, 0);
+    }
+}

@@ -14,6 +14,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod histogram;
+pub mod serve;
+
+pub use histogram::{bucket_lower_bound, bucket_of, LatencyHistogram, LatencySummary};
+pub use serve::{
+    legacy_throughput_modes, DeterministicSummary, ServeConfig, ServeMode, ServeReport, SloConfig,
+};
+
 use p2b_sim::{Regime, SeriesPoint};
 use std::path::PathBuf;
 

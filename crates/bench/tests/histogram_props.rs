@@ -1,0 +1,131 @@
+//! Property suite for the mergeable log-bucket latency histogram.
+//!
+//! The serve harness records latencies on per-worker histograms and merges
+//! them afterward, so correctness of the merged digest rests on three
+//! properties pinned here: merge is associative and commutative, recording
+//! order is irrelevant, and quantiles stay within one bucket of the exact
+//! sorted-sample quantiles.
+
+use p2b_bench::{bucket_of, LatencyHistogram};
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut hist = LatencyHistogram::new();
+    for &s in samples {
+        hist.record(s);
+    }
+    hist
+}
+
+/// Samples spanning the interesting ranges: sub-octave exact buckets,
+/// mid-range, and huge values near the top of `u64`.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..64,
+            64u64..1_000_000,
+            1_000_000u64..u64::MAX / 2,
+            (u64::MAX - 1_000)..u64::MAX,
+        ],
+        0..200,
+    )
+}
+
+/// Exact nearest-rank quantile of a sorted sample set.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(a, b) == merge(b, a): per-worker merge order cannot change the
+    /// digest.
+    #[test]
+    fn merge_is_commutative(a in arb_samples(), b in arb_samples()) {
+        let (ha, hb) = (histogram_of(&a), histogram_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c): merge grouping cannot change the digest.
+    #[test]
+    fn merge_is_associative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging per-worker histograms is lossless: identical to one histogram
+    /// that recorded every sample itself, however the samples are split.
+    #[test]
+    fn merge_equals_single_recorder(samples in arb_samples(), split in 0usize..200) {
+        let split = split.min(samples.len());
+        let mut merged = histogram_of(&samples[..split]);
+        merged.merge(&histogram_of(&samples[split..]));
+        prop_assert_eq!(merged, histogram_of(&samples));
+    }
+
+    /// Recording order is irrelevant: the histogram of a permuted stream is
+    /// identical to the histogram of the sorted stream.
+    #[test]
+    fn recording_is_order_invariant(samples in arb_samples()) {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(histogram_of(&samples), histogram_of(&sorted));
+    }
+
+    /// Reported quantiles land in exactly the bucket of the true
+    /// nearest-rank quantile, never above it, and within one sub-bucket
+    /// (≤ 1/32 relative + 1) below it.
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(samples in arb_samples()) {
+        prop_assume!(!samples.is_empty());
+        let hist = histogram_of(&samples);
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let reported = hist.quantile(q);
+            prop_assert_eq!(
+                bucket_of(reported), bucket_of(exact),
+                "q={}: reported {} vs exact {}", q, reported, exact
+            );
+            prop_assert!(reported <= exact, "q={}: {} > exact {}", q, reported, exact);
+            let max_err = exact as f64 / 32.0 + 1.0;
+            prop_assert!(
+                (exact - reported) as f64 <= max_err,
+                "q={}: error {} above bound {}", q, exact - reported, max_err
+            );
+        }
+    }
+
+    /// count/min/max/mean agree exactly with the recorded stream.
+    #[test]
+    fn side_stats_are_exact(samples in arb_samples()) {
+        prop_assume!(!samples.is_empty());
+        let hist = histogram_of(&samples);
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(hist.max(), *samples.iter().max().unwrap());
+        let exact_mean =
+            samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        // Both sides sum in extended precision, so agreement is tight.
+        let scale = exact_mean.abs().max(1.0);
+        prop_assert!((hist.mean() - exact_mean).abs() / scale < 1e-9);
+    }
+}

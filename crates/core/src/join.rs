@@ -133,6 +133,12 @@ pub struct RewardJoinBuffer<P> {
     next_ticket: u64,
     pending: BTreeMap<u64, Pending<P>>,
     stats: JoinStats,
+    /// Hard ceiling on in-flight (pending) decisions; `None` means unbounded.
+    in_flight_ceiling: Option<usize>,
+    /// Admission attempts rejected by the ceiling.
+    shed: u64,
+    /// High-water mark of [`RewardJoinBuffer::pending`].
+    peak_pending: usize,
 }
 
 impl<P> RewardJoinBuffer<P> {
@@ -146,7 +152,41 @@ impl<P> RewardJoinBuffer<P> {
             next_ticket: 0,
             pending: BTreeMap::new(),
             stats: JoinStats::default(),
+            in_flight_ceiling: None,
+            shed: 0,
+            peak_pending: 0,
         }
+    }
+
+    /// Caps the number of in-flight decisions: once `ceiling` decisions are
+    /// pending, [`RewardJoinBuffer::try_record`] sheds new admissions until
+    /// finalization drains the buffer. This is the serving tier's admission
+    /// control — a hard bound on join-buffer memory and on the work queued
+    /// behind the model service.
+    #[must_use]
+    pub fn with_in_flight_ceiling(mut self, ceiling: usize) -> Self {
+        self.in_flight_ceiling = Some(ceiling);
+        self
+    }
+
+    /// The configured in-flight ceiling, if any.
+    #[must_use]
+    pub fn in_flight_ceiling(&self) -> Option<usize> {
+        self.in_flight_ceiling
+    }
+
+    /// Admission attempts rejected because the in-flight ceiling was reached.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// High-water mark of pending (in-flight) decisions over the buffer's
+    /// lifetime — the occupancy figure the serving harness reports against
+    /// its SLO.
+    #[must_use]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// The configured maximum join delay in rounds.
@@ -187,7 +227,27 @@ impl<P> RewardJoinBuffer<P> {
                 reward: None,
             },
         );
+        self.peak_pending = self.peak_pending.max(self.pending.len());
         DecisionTicket(ticket)
+    }
+
+    /// Records a decision *subject to the in-flight ceiling*: returns `None`
+    /// — and counts a shed admission — when the buffer already holds
+    /// `in_flight_ceiling` pending decisions. Without a configured ceiling
+    /// this is exactly [`RewardJoinBuffer::record`].
+    ///
+    /// Shedding at admission (before any expensive selection work happens)
+    /// is the backpressure contract of the closed serving loop: every
+    /// decision that *is* admitted is guaranteed to finalize as exactly one
+    /// of joined, expired, or in-flight at shutdown.
+    pub fn try_record(&mut self, payload: P) -> Option<DecisionTicket> {
+        if let Some(ceiling) = self.in_flight_ceiling {
+            if self.pending.len() >= ceiling {
+                self.shed += 1;
+                return None;
+            }
+        }
+        Some(self.record(payload))
     }
 
     /// Joins a reward to a pending decision.
@@ -344,6 +404,45 @@ mod tests {
         assert!(buffer.join(a, 1.5).is_err());
         assert!(buffer.join(a, 1.0).unwrap());
         assert!(buffer.join(a, 1.0).is_err());
+    }
+
+    #[test]
+    fn ceiling_sheds_admissions_and_tracks_occupancy() {
+        let mut buffer: RewardJoinBuffer<u32> = RewardJoinBuffer::new(1).with_in_flight_ceiling(2);
+        assert_eq!(buffer.in_flight_ceiling(), Some(2));
+        let a = buffer.try_record(0).expect("first admission fits");
+        let _b = buffer.try_record(1).expect("second admission fits");
+        // Ceiling reached: the third admission is shed, not queued.
+        assert!(buffer.try_record(2).is_none());
+        assert_eq!(buffer.shed(), 1);
+        assert_eq!(buffer.pending(), 2);
+        assert_eq!(buffer.peak_pending(), 2);
+        assert_eq!(
+            buffer.stats().decisions,
+            2,
+            "shed admissions are not decisions"
+        );
+        // Finalization drains the buffer and re-opens admission.
+        buffer.join(a, 1.0).unwrap();
+        buffer.advance_round();
+        buffer.advance_round();
+        assert_eq!(buffer.pending(), 0);
+        assert!(buffer.try_record(3).is_some());
+        assert_eq!(
+            buffer.peak_pending(),
+            2,
+            "peak is a lifetime high-water mark"
+        );
+    }
+
+    #[test]
+    fn unbounded_buffer_never_sheds() {
+        let mut buffer: RewardJoinBuffer<u32> = RewardJoinBuffer::new(0);
+        for i in 0..100 {
+            assert!(buffer.try_record(i).is_some());
+        }
+        assert_eq!(buffer.shed(), 0);
+        assert_eq!(buffer.peak_pending(), 100);
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub use error::CoreError;
 pub use join::{
     DecisionTicket, ExpiredDecision, FinalizedRound, JoinStats, JoinedDecision, RewardJoinBuffer,
 };
-pub use pool::{AgentPool, AgentPoolConfig, PoolStats};
+pub use pool::{AgentPool, AgentPoolConfig, AgentSource, PoolStats};
 pub use reporter::{PendingReport, RandomizedReporter};
 pub use server::CentralServer;
 pub use service::{ModelService, ModelSnapshot};

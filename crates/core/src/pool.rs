@@ -29,10 +29,12 @@
 //! small under large code spaces; the LRU clock and budget are global, so
 //! the residency ceiling is exact at any shard count.
 
-use crate::{CoreError, LocalAgent, P2bSystem};
+use crate::{CoreError, LocalAgent, ModelSnapshot, P2bConfig, P2bSystem};
+use p2b_encoding::Encoder;
 use p2b_shuffler::{splitmix64, RawReport};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Configuration of an [`AgentPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,6 +106,70 @@ impl PoolStats {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.rehydrations + self.creations
+    }
+}
+
+/// A cloneable, thread-safe checkout source: one epoch's shared central
+/// snapshot plus everything needed to mint, refresh or rehydrate agents
+/// *without* holding `&mut P2bSystem`.
+///
+/// [`AgentPool::with_agent`] threads the whole system through every
+/// checkout, which is fine for a single-threaded simulation but pins a
+/// serving deployment to one thread. `AgentSource` is the serving-tier
+/// alternative: the orchestrator captures the current epoch once
+/// ([`AgentSource::capture`]), hands clones to its worker threads (clones
+/// share the snapshot allocation — capturing is a pointer copy, not a model
+/// copy), and each worker drives its own pool shard through
+/// [`AgentPool::with_agent_at`]. After an ingestion epoch bump the
+/// orchestrator captures a fresh source; residents hop snapshots lazily at
+/// their next checkout, exactly like the system-threaded path.
+#[derive(Debug, Clone)]
+pub struct AgentSource {
+    config: P2bConfig,
+    encoder: Arc<dyn Encoder>,
+    snapshot: Arc<ModelSnapshot>,
+}
+
+impl AgentSource {
+    /// Captures the current epoch's snapshot (plus the configuration and
+    /// encoder agents are built from) out of a system.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces internal model-service failures from snapshot assembly.
+    pub fn capture(system: &mut P2bSystem) -> Result<Self, CoreError> {
+        let snapshot = system.central_snapshot()?;
+        Ok(Self {
+            config: system.config().clone(),
+            encoder: Arc::clone(system.encoder()),
+            snapshot,
+        })
+    }
+
+    /// The captured epoch's shared model snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> &Arc<ModelSnapshot> {
+        &self.snapshot
+    }
+
+    /// The captured snapshot's ingestion epoch — the "decision epoch" a
+    /// serving harness records against the applied epoch to measure ingest
+    /// lag.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Mints a warm agent pointed at the captured snapshot. The caller
+    /// chooses the id; the serving pool uses the checkout key, which is
+    /// unique per agent by construction (one agent per context code).
+    fn make_agent(&self, id: u64) -> Result<LocalAgent, CoreError> {
+        LocalAgent::new(
+            id,
+            &self.config,
+            Arc::clone(&self.encoder),
+            Some(Arc::clone(&self.snapshot)),
+        )
     }
 }
 
@@ -256,6 +322,53 @@ impl AgentPool {
         let result = f(&mut agent);
         self.checkin(key, agent);
         result
+    }
+
+    /// Exactly [`AgentPool::with_agent`], but checking out against a
+    /// captured [`AgentSource`] instead of the system — the thread-safe
+    /// serving path: worker threads each own a pool and share (clones of)
+    /// one source per epoch.
+    ///
+    /// Checkout order of preference matches the system path: resident
+    /// (still-shared residents hop to the source's snapshot if its epoch
+    /// differs), dormant (rehydrated against the source), fresh (a new warm
+    /// agent whose id is the checkout key).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot, rehydration and closure errors. The agent is
+    /// checked back in even when `f` fails.
+    pub fn with_agent_at<T>(
+        &mut self,
+        source: &AgentSource,
+        key: u64,
+        f: impl FnOnce(&mut LocalAgent) -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        let mut agent = self.checkout_at(source, key)?;
+        let result = f(&mut agent);
+        self.checkin(key, agent);
+        result
+    }
+
+    fn checkout_at(&mut self, source: &AgentSource, key: u64) -> Result<LocalAgent, CoreError> {
+        let shard = self.shard_index(key);
+        if let Some(resident) = self.shards[shard].residents.remove(&key) {
+            self.lru.remove(&resident.stamp);
+            self.stats.hits += 1;
+            let mut agent = resident.agent;
+            if let Some(snapshot) = agent.warm_snapshot() {
+                if snapshot.epoch() != source.epoch() {
+                    agent.refresh_from_snapshot(Arc::clone(source.snapshot()))?;
+                }
+            }
+            return Ok(agent);
+        }
+        if let Some(dormant) = self.shards[shard].dormant.remove(&key) {
+            self.stats.rehydrations += 1;
+            return LocalAgent::rehydrate(dormant, Arc::clone(&source.encoder), &source.snapshot);
+        }
+        self.stats.creations += 1;
+        source.make_agent(key)
     }
 
     fn checkout(&mut self, system: &mut P2bSystem, key: u64) -> Result<LocalAgent, CoreError> {
@@ -554,6 +667,86 @@ mod tests {
         });
         assert!(err.is_err());
         assert_eq!(pool.resident_agents(), 1, "agent must be checked back in");
+    }
+
+    #[test]
+    fn source_checkout_matches_the_system_path() {
+        // Driving the pool through a captured AgentSource must behave like
+        // driving it through the system: same creations, rehydrations and
+        // selected actions (checkout is deterministic, selection shares the
+        // same snapshot and seeds).
+        let run_with_system = |keys: &[u64]| {
+            let mut sys = system();
+            let mut pool = AgentPool::new(AgentPoolConfig::bounded(2)).unwrap();
+            let mut actions = Vec::new();
+            for (i, &key) in keys.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+                let action = pool
+                    .with_agent(&mut sys, key, |agent| {
+                        agent.select_action(&ctx((key % 4) as usize), &mut rng)
+                    })
+                    .unwrap();
+                actions.push(action.index());
+            }
+            (actions, *pool.stats())
+        };
+        let run_with_source = |keys: &[u64]| {
+            let mut sys = system();
+            let source = AgentSource::capture(&mut sys).unwrap();
+            let mut pool = AgentPool::new(AgentPoolConfig::bounded(2)).unwrap();
+            let mut actions = Vec::new();
+            for (i, &key) in keys.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+                let action = pool
+                    .with_agent_at(&source, key, |agent| {
+                        agent.select_action(&ctx((key % 4) as usize), &mut rng)
+                    })
+                    .unwrap();
+                actions.push(action.index());
+            }
+            (actions, *pool.stats())
+        };
+        let keys: Vec<u64> = (0..24u64).map(|i| i % 5).collect();
+        let (sys_actions, sys_stats) = run_with_system(&keys);
+        let (src_actions, src_stats) = run_with_source(&keys);
+        assert_eq!(sys_actions, src_actions);
+        assert_eq!(sys_stats.creations, src_stats.creations);
+        assert_eq!(sys_stats.rehydrations, src_stats.rehydrations);
+        assert_eq!(sys_stats.evictions, src_stats.evictions);
+    }
+
+    #[test]
+    fn source_clones_share_the_snapshot_and_refresh_across_epochs() {
+        let mut sys = system();
+        let source = AgentSource::capture(&mut sys).unwrap();
+        let clone = source.clone();
+        assert!(Arc::ptr_eq(source.snapshot(), clone.snapshot()));
+        assert_eq!(source.epoch(), 0);
+
+        // An ingestion round bumps the epoch; a fresh capture sees it and a
+        // resident checked out against the new source hops snapshots.
+        let mut pool = AgentPool::new(AgentPoolConfig::unbounded()).unwrap();
+        let mut rng = StdRng::seed_from_u64(40);
+        pool.with_agent_at(&source, 0, |agent| {
+            agent.select_action(&ctx(0), &mut rng).map(|_| ())
+        })
+        .unwrap();
+        let mut teacher = sys.make_warm_agent().unwrap();
+        for _ in 0..8 {
+            let c = ctx(0);
+            let action = teacher.select_action(&c, &mut rng).unwrap();
+            teacher.observe_reward(&c, action, 1.0, &mut rng).unwrap();
+        }
+        sys.collect_from(&mut teacher);
+        sys.flush_round(&mut rng).unwrap();
+        let fresh = AgentSource::capture(&mut sys).unwrap();
+        assert_eq!(fresh.epoch(), 1);
+        pool.with_agent_at(&fresh, 0, |agent| {
+            let snap = agent.warm_snapshot().expect("still shared");
+            assert_eq!(snap.epoch(), 1, "resident must hop to the new epoch");
+            Ok(())
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Decision-conservation property of the reward-join buffer under the
+//! serving harness's admission discipline.
+//!
+//! The closed-loop harness admits arrivals through
+//! [`RewardJoinBuffer::try_record`] (a hard in-flight ceiling), delivers
+//! rewards with arbitrary delays — including after the window closes — and
+//! shuts down *without* draining the buffer. The suite pins the accounting
+//! identities the harness's report rests on, under arbitrary interleavings:
+//!
+//! * every admitted decision finalizes as **exactly one** of joined,
+//!   expired, or in-flight at shutdown;
+//! * every offered arrival is **either** admitted or shed;
+//! * pending occupancy never exceeds the ceiling, at any instant.
+
+use p2b_core::RewardJoinBuffer;
+use proptest::prelude::*;
+
+/// One scripted arrival: whether a reward comes back, how many rounds
+/// late, and with what value.
+#[derive(Debug, Clone, Copy)]
+struct ScriptedArrival {
+    rewarded: bool,
+    delay: u64,
+    reward_millis: u16,
+}
+
+fn arb_arrival() -> impl Strategy<Value = ScriptedArrival> {
+    (any::<bool>(), 0u64..8, 0u16..=1000).prop_map(|(rewarded, delay, reward_millis)| {
+        ScriptedArrival {
+            rewarded,
+            delay,
+            reward_millis,
+        }
+    })
+}
+
+/// Scripts: per-round arrival batches, plus the buffer shape.
+fn arb_script() -> impl Strategy<Value = (Vec<Vec<ScriptedArrival>>, u64, usize)> {
+    (
+        prop::collection::vec(prop::collection::vec(arb_arrival(), 0..12), 1..20),
+        0u64..5,   // max_delay
+        1usize..9, // in_flight_ceiling
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// admitted == joined + expired + pending-at-shutdown, admitted + shed
+    /// == offered, and pending ≤ ceiling at every instant — for arbitrary
+    /// arrival scripts, delays (within and beyond the window) and ceilings.
+    #[test]
+    fn every_admitted_decision_is_accounted_for_exactly_once(script in arb_script()) {
+        let (rounds, max_delay, ceiling) = script;
+        let mut buffer: RewardJoinBuffer<usize> =
+            RewardJoinBuffer::new(max_delay).with_in_flight_ceiling(ceiling);
+        let total_rounds = rounds.len() as u64 + max_delay + 2;
+        let mut due: Vec<Vec<(p2b_core::DecisionTicket, f64)>> =
+            (0..total_rounds).map(|_| Vec::new()).collect();
+
+        let mut offered = 0u64;
+        let mut admitted = 0u64;
+        let mut joined = 0u64;
+        let mut expired = 0u64;
+        let mut arrival_id = 0usize;
+
+        for round in 0..total_rounds {
+            if let Some(batch) = rounds.get(round as usize) {
+                for arrival in batch {
+                    offered += 1;
+                    let Some(ticket) = buffer.try_record(arrival_id) else {
+                        arrival_id += 1;
+                        continue;
+                    };
+                    arrival_id += 1;
+                    admitted += 1;
+                    prop_assert!(buffer.pending() <= ceiling);
+                    if arrival.rewarded {
+                        let at = (round + arrival.delay).min(total_rounds - 1);
+                        due[at as usize]
+                            .push((ticket, f64::from(arrival.reward_millis) / 1000.0));
+                    }
+                }
+            }
+            for (ticket, reward) in due[round as usize].drain(..) {
+                // Late deliveries return Ok(false) and bump the
+                // late_rewards counter; they must never panic or double
+                // count.
+                let _ = buffer.join(ticket, reward).unwrap();
+            }
+            let finalized = buffer.advance_round();
+            joined += finalized.joined.len() as u64;
+            expired += finalized.expired.len() as u64;
+            prop_assert!(buffer.pending() <= ceiling);
+        }
+
+        // Shutdown without draining: whatever is pending stays in flight.
+        let in_flight = buffer.pending() as u64;
+        let stats = *buffer.stats();
+
+        prop_assert_eq!(stats.decisions, admitted);
+        prop_assert_eq!(stats.joined, joined);
+        prop_assert_eq!(stats.expired, expired);
+        prop_assert_eq!(
+            admitted, joined + expired + in_flight,
+            "every admitted decision must finalize exactly once",
+        );
+        prop_assert_eq!(
+            admitted + buffer.shed(), offered,
+            "every offered arrival is either admitted or shed",
+        );
+        prop_assert!(buffer.peak_pending() <= ceiling);
+    }
+
+    /// Draining at shutdown instead (the non-serving path): `finish`
+    /// flushes every still-pending decision into joined/expired, so the
+    /// same identity holds with in-flight = 0.
+    #[test]
+    fn finish_settles_all_remaining_decisions(script in arb_script()) {
+        let (rounds, max_delay, ceiling) = script;
+        let mut buffer: RewardJoinBuffer<usize> =
+            RewardJoinBuffer::new(max_delay).with_in_flight_ceiling(ceiling);
+        let mut admitted = 0u64;
+        let mut joined = 0u64;
+        let mut expired = 0u64;
+        for batch in &rounds {
+            for arrival in batch {
+                let Some(ticket) = buffer.try_record(0) else { continue };
+                admitted += 1;
+                if arrival.rewarded && arrival.delay == 0 {
+                    let _ = buffer
+                        .join(ticket, f64::from(arrival.reward_millis) / 1000.0)
+                        .unwrap();
+                }
+            }
+            let finalized = buffer.advance_round();
+            joined += finalized.joined.len() as u64;
+            expired += finalized.expired.len() as u64;
+        }
+        let finalized = buffer.finish();
+        joined += finalized.joined.len() as u64;
+        expired += finalized.expired.len() as u64;
+        prop_assert_eq!(buffer.pending(), 0);
+        prop_assert_eq!(admitted, joined + expired);
+    }
+}

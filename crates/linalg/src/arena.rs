@@ -53,8 +53,8 @@ impl ScoreScratch {
 
 /// Flat, element-major scoring arena over all arms of one model (`f64`).
 ///
-/// See the [module documentation](self) for the layout and the determinism
-/// invariant. Arms are loaded with [`ScoreArena::load_arm`] whenever the
+/// See the module documentation in `arena.rs` for the layout and the
+/// determinism invariant. Arms are loaded with [`ScoreArena::load_arm`] whenever the
 /// backing `RankOneInverse` state changes and scored with
 /// [`ScoreArena::ucb_scores_into`].
 #[derive(Debug, Clone, PartialEq)]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod arrival;
 mod error;
 mod logged;
 mod outcome;
@@ -34,6 +35,7 @@ mod regime;
 mod streaming;
 mod synthetic;
 
+pub use arrival::{ArrivalConfig, ArrivalEvent, ArrivalProcess, LANE_CONSUMER_BASE};
 pub use error::SimError;
 pub use logged::{run_logged_experiment, LoggedExample, LoggedExperimentConfig};
 pub use outcome::{write_series_json, RegimeOutcome, SeriesPoint};

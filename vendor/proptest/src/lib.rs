@@ -147,7 +147,16 @@ pub mod strategy {
         )*};
     }
 
-    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+    impl_tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+        (A, B, C, D, E, F, G),
+        (A, B, C, D, E, F, G, H),
+    );
 }
 
 pub mod arbitrary {
