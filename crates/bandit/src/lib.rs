@@ -44,7 +44,8 @@ mod ucb1;
 pub use epsilon_greedy::{EpsilonGreedy, EpsilonGreedyConfig};
 pub use error::BanditError;
 pub use linucb::{
-    CoalescedUpdate, F32Scorer, LinUcb, LinUcbConfig, SelectScratch, SelectScratchF32,
+    ArmStatistics, CoalescedUpdate, F32Scorer, LinUcb, LinUcbConfig, SelectScratch,
+    SelectScratchF32,
 };
 pub use policy::{Action, ContextualPolicy, Reward};
 pub use random::RandomPolicy;

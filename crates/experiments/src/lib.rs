@@ -61,7 +61,7 @@ pub use emit::{matrix_to_csv, matrix_to_json, write_matrix_csv, write_matrix_jso
 pub use error::ExperimentError;
 pub use matrix::{
     run_cell, run_matrix, BatchGuarantee, CellResult, CellSpec, MatrixConfig, MatrixResult,
-    RoundPoint,
+    RoundPoint, CENTRAL_LEAF_SENSITIVITY, CENTRAL_SIGMA, CENTRAL_TARGET_DELTA,
 };
 pub use policy::{AnyPolicy, PolicyKind};
 pub use regime::PrivacyRegime;

@@ -22,7 +22,14 @@
 //!   through the sharded [`p2b_shuffler::ShufflerEngine`] (anonymize,
 //!   shuffle, crowd-blending threshold); released reports update the central
 //!   policy and every batch's (ε, δ) lands in an
-//!   [`p2b_privacy::AmplificationLedger`].
+//!   [`p2b_privacy::AmplificationLedger`];
+//! * **central DP (tree aggregation)** — the raw tuple goes to a *trusted
+//!   curator*, which folds it into per-arm [`p2b_privacy::TreeAggregator`]
+//!   streams over the LinUCB sufficient statistics and periodically
+//!   publishes a model rebuilt from the noisy prefix releases
+//!   (Gaussian noise on O(log T) dyadic partial sums — the classic
+//!   PrivateLinUCB baseline). Privacy cost is accounted in ρ-zCDP by a
+//!   [`p2b_privacy::ZcdpAccountant`].
 //!
 //! Selection always uses the device's true context — what is privatized is
 //! what reaches the central model, exactly as in the paper's architecture.
@@ -31,11 +38,14 @@ use crate::{
     AnyPolicy, ExperimentError, PolicyKind, PrivacyRegime, ScenarioData, ScenarioKind,
     ScenarioShape,
 };
-use p2b_bandit::Action;
+use p2b_bandit::{Action, ArmStatistics, LinUcb, LinUcbConfig};
 use p2b_core::{DecisionTicket, RewardJoinBuffer};
 use p2b_encoding::{ContextCode, Encoder, KMeansConfig, KMeansEncoder};
-use p2b_linalg::Vector;
-use p2b_privacy::{AmplificationLedger, Participation, RandomizedResponse};
+use p2b_linalg::{Matrix, Vector};
+use p2b_privacy::{
+    AmplificationLedger, Participation, RandomizedResponse, TreeAggregator, TreeConfig,
+    ZcdpAccountant,
+};
 use p2b_shuffler::{splitmix64, EncodedReport, RawReport, ShufflerConfig, ShufflerEngine};
 use p2b_sim::parallel_map;
 use rand::rngs::StdRng;
@@ -43,6 +53,25 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Gaussian noise scale σ of every tree-aggregation node in the central-DP
+/// regime.
+///
+/// Like the drift constants in the scenario module, the central-DP knobs are
+/// documented constants rather than [`MatrixConfig`] fields: the config's
+/// serialized form is schema-frozen by the emitter goldens. σ = 4 with the
+/// smoke-scale horizons gives a per-stream ρ around 0.4 — an honestly noisy
+/// central-DP baseline whose utility gap against P2B is the paper's point.
+pub const CENTRAL_SIGMA: f64 = 4.0;
+
+/// Target δ at which the central-DP cell's composed ρ-zCDP loss is converted
+/// to an ε for reporting ([`p2b_privacy::ZcdpAccountant::epsilon`]).
+pub const CENTRAL_TARGET_DELTA: f64 = 1e-6;
+
+/// L2 sensitivity of one tree leaf in the central-DP regime: the leaf vector
+/// `[vec(x xᵀ), r·x, 1]` with the context clipped to the unit ball and the
+/// reward in `[0, 1]` has norm at most `√(‖x‖⁴ + r²‖x‖² + 1) ≤ √3`.
+pub const CENTRAL_LEAF_SENSITIVITY: f64 = 1.732_050_807_568_877_2;
 
 /// Configuration of one matrix run: the three axes plus the shared workload,
 /// privacy and accounting knobs.
@@ -176,10 +205,30 @@ impl MatrixConfig {
         self
     }
 
-    /// Total number of cells the matrix will run.
+    /// Whether a (regime, policy) combination is runnable: the central-DP
+    /// curator releases *LinUCB sufficient statistics*, so it only serves
+    /// [`PolicyKind::LinUcb`]; every other regime is policy-agnostic.
+    #[must_use]
+    pub fn cell_supported(regime: PrivacyRegime, policy: PolicyKind) -> bool {
+        regime != PrivacyRegime::CentralDp || policy == PolicyKind::LinUcb
+    }
+
+    /// Total number of cells the matrix will run (unsupported
+    /// regime × policy combinations are skipped, see
+    /// [`MatrixConfig::cell_supported`]).
     #[must_use]
     pub fn num_cells(&self) -> usize {
-        self.scenarios.len() * self.regimes.len() * self.policies.len() * self.repeats as usize
+        let regime_policy: usize = self
+            .regimes
+            .iter()
+            .map(|&r| {
+                self.policies
+                    .iter()
+                    .filter(|&&p| Self::cell_supported(r, p))
+                    .count()
+            })
+            .sum();
+        self.scenarios.len() * regime_policy * self.repeats as usize
     }
 
     fn validate(&self) -> Result<(), ExperimentError> {
@@ -235,6 +284,16 @@ impl MatrixConfig {
         Participation::new(self.participation)?;
         if self.regimes.contains(&PrivacyRegime::LocalDp) {
             LocalDpRandomizer::new(self.num_codes, 2, self.ldp_epsilon)?;
+        }
+        if self.regimes.contains(&PrivacyRegime::CentralDp)
+            && !self.policies.contains(&PolicyKind::LinUcb)
+        {
+            return Err(ExperimentError::InvalidConfig {
+                parameter: "regimes/policies",
+                message: "the central-DP regime releases LinUCB sufficient statistics and needs \
+                          PolicyKind::LinUcb on the policy axis"
+                    .to_owned(),
+            });
         }
         Ok(())
     }
@@ -396,6 +455,9 @@ pub fn run_matrix(config: &MatrixConfig) -> Result<MatrixResult, ExperimentError
     for (si, &scenario) in config.scenarios.iter().enumerate() {
         for (ri, &regime) in config.regimes.iter().enumerate() {
             for (pi, &policy) in config.policies.iter().enumerate() {
+                if !MatrixConfig::cell_supported(regime, policy) {
+                    continue;
+                }
                 for repeat in 0..config.repeats {
                     specs.push(CellSpec {
                         scenario,
@@ -446,6 +508,28 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
         )?),
         _ => None,
     };
+    let mut curator = match spec.regime {
+        PrivacyRegime::CentralDp => {
+            if spec.policy != PolicyKind::LinUcb {
+                return Err(ExperimentError::InvalidConfig {
+                    parameter: "policy",
+                    message: format!(
+                        "the central-DP regime only serves LinUCB sufficient statistics, got {}",
+                        spec.policy
+                    ),
+                });
+            }
+            Some(CentralCurator::new(
+                dimension,
+                num_actions,
+                config.alpha,
+                config.num_users as u64,
+                spec.seed,
+            )?)
+        }
+        _ => None,
+    };
+    let mut curator_pending = 0usize;
     let participation = Participation::new(config.participation)?;
     let mut ledger = AmplificationLedger::new(participation, config.delta_omega)?;
 
@@ -539,7 +623,20 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
                         EncodedReport::new(code.value(), action.index(), reward)?,
                     ));
                 }
+                PrivacyRegime::CentralDp => {
+                    let curator = curator.as_mut().expect("CentralDp builds a curator");
+                    curator.ingest(&context, action, reward)?;
+                    curator_pending += 1;
+                    shared_reports += 1;
+                }
             }
+        }
+
+        if spec.regime == PrivacyRegime::CentralDp && curator_pending >= config.flush_every_reports
+        {
+            let curator = curator.as_ref().expect("CentralDp builds a curator");
+            central = AnyPolicy::LinUcb(curator.publish()?);
+            curator_pending = 0;
         }
 
         if spec.regime == PrivacyRegime::P2bShuffle && pending.len() >= config.flush_every_reports {
@@ -577,6 +674,10 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
             Some(ledger.per_report_epsilon()),
             Some(ledger.weakest().map_or(0.0, |w| w.guarantee.delta())),
         ),
+        PrivacyRegime::CentralDp => {
+            let curator = curator.as_ref().expect("CentralDp builds a curator");
+            (Some(curator.epsilon()?), Some(CENTRAL_TARGET_DELTA))
+        }
     };
     let batch_guarantees = ledger
         .records()
@@ -651,6 +752,141 @@ impl LocalDpRandomizer {
         let reward_bit = usize::from(rng.gen::<f64>() < reward.clamp(0.0, 1.0));
         let noisy_reward = self.reward.randomize(reward_bit, rng)? as f64;
         Ok((noisy_code, noisy_action, noisy_reward))
+    }
+}
+
+/// The trusted curator of the central-DP regime.
+///
+/// It keeps one [`TreeAggregator`] per arm over leaf vectors
+/// `[vec(x xᵀ), r·x, 1]` (dimension `d² + d + 1`), with contexts clipped to
+/// the unit L2 ball so one leaf has sensitivity at most
+/// [`CENTRAL_LEAF_SENSITIVITY`]. A published model is rebuilt from the noisy
+/// prefix releases: the Gram block is symmetrized and ridge-shifted until
+/// the design matrix is positive definite (Shariff & Sheffet 2018's
+/// shifted-regularizer repair), then folded into a fresh [`LinUcb`] via
+/// [`LinUcb::from_sufficient_statistics`].
+///
+/// Privacy accounting is the binary mechanism's: one user's single report is
+/// a single leaf, covered by at most `nodes_per_leaf` noisy partial sums, so
+/// the *entire* release stream costs
+/// `ρ = nodes_per_leaf · Δ² / (2σ²)` — charged once to the
+/// [`ZcdpAccountant`] at construction, independent of how many snapshots are
+/// published. All noise is counter-based ([`TreeAggregator::node_noise`]),
+/// so cells stay bit-deterministic at any worker count.
+struct CentralCurator {
+    config: LinUcbConfig,
+    trees: Vec<TreeAggregator>,
+    accountant: ZcdpAccountant,
+    ingested: u64,
+}
+
+impl CentralCurator {
+    fn new(
+        dimension: usize,
+        num_actions: usize,
+        alpha: f64,
+        horizon: u64,
+        seed: u64,
+    ) -> Result<Self, ExperimentError> {
+        let leaf_dim = dimension * dimension + dimension + 1;
+        let trees = (0..num_actions)
+            .map(|arm| {
+                TreeAggregator::new(TreeConfig::new(
+                    leaf_dim,
+                    horizon,
+                    CENTRAL_SIGMA,
+                    splitmix64(seed ^ (arm as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+                ))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut accountant = ZcdpAccountant::new();
+        // The whole stream's cost is fixed upfront by (σ, T): every leaf is
+        // covered by at most nodes_per_leaf noisy nodes, regardless of how
+        // many prefixes are later released.
+        let rho = trees[0].rho_per_leaf(CENTRAL_LEAF_SENSITIVITY)?;
+        accountant.spend_rho(rho, "tree_stream")?;
+        Ok(Self {
+            config: LinUcbConfig::new(dimension, num_actions).with_alpha(alpha),
+            trees,
+            accountant,
+            ingested: 0,
+        })
+    }
+
+    /// Folds one raw report into the chosen arm's statistics stream.
+    fn ingest(
+        &mut self,
+        context: &Vector,
+        action: Action,
+        reward: f64,
+    ) -> Result<(), ExperimentError> {
+        let d = self.config.context_dimension;
+        let norm = context.norm2();
+        let scale = if norm > 1.0 { 1.0 / norm } else { 1.0 };
+        let mut leaf = vec![0.0f64; d * d + d + 1];
+        for i in 0..d {
+            let xi = context[i] * scale;
+            for j in 0..d {
+                leaf[i * d + j] = xi * (context[j] * scale);
+            }
+            leaf[d * d + i] = reward.clamp(0.0, 1.0) * xi;
+        }
+        leaf[d * d + d] = 1.0;
+        self.trees[action.index()].push(&leaf)?;
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Rebuilds a servable model from the current noisy prefix releases.
+    fn publish(&self) -> Result<LinUcb, ExperimentError> {
+        let d = self.config.context_dimension;
+        let mut statistics = Vec::with_capacity(self.trees.len());
+        for tree in &self.trees {
+            let release = tree.release();
+            let mut gram = Matrix::zeros(d, d);
+            for i in 0..d {
+                for j in 0..d {
+                    // Symmetrize: noise is not symmetric even though x xᵀ is.
+                    gram.set(i, j, (release[i * d + j] + release[j * d + i]) / 2.0);
+                }
+            }
+            let reward_vector = Vector::from(release[d * d..d * d + d].to_vec());
+            let pulls = release[d * d + d].round().max(0.0) as u64;
+            // Escalating ridge shift until the noisy Gram is positive
+            // definite; doubling terminates quickly because the shift soon
+            // dominates the largest negative eigenvalue.
+            let mut boost = 0.0f64;
+            let statistics_for_arm = loop {
+                let mut design = gram.clone();
+                for i in 0..d {
+                    design.set(i, i, design.get(i, i) + self.config.regularizer + boost);
+                }
+                match p2b_linalg::RankOneInverse::from_matrix(&design) {
+                    Ok(_) => {
+                        break ArmStatistics {
+                            design,
+                            reward_vector: reward_vector.clone(),
+                            pulls,
+                        }
+                    }
+                    Err(e) if boost < 1e12 => {
+                        let _ = e;
+                        boost = if boost == 0.0 { 1.0 } else { boost * 2.0 };
+                    }
+                    Err(e) => return Err(p2b_bandit::BanditError::from(e).into()),
+                }
+            };
+            statistics.push(statistics_for_arm);
+        }
+        Ok(LinUcb::from_sufficient_statistics(
+            self.config,
+            &statistics,
+        )?)
+    }
+
+    /// The (ε at [`CENTRAL_TARGET_DELTA`]) of the whole release stream.
+    fn epsilon(&self) -> Result<f64, ExperimentError> {
+        Ok(self.accountant.epsilon(CENTRAL_TARGET_DELTA)?)
     }
 }
 
@@ -841,6 +1077,78 @@ mod tests {
                 assert!(batch.crowd_size >= config.shuffler_threshold as u64);
             }
         }
+    }
+
+    #[test]
+    fn central_dp_cells_run_and_account_in_zcdp() {
+        let config = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::NonPrivate, PrivacyRegime::CentralDp])
+            .with_policies(vec![PolicyKind::LinUcb])
+            .with_seed(13);
+        let result = run_matrix(&config).unwrap();
+        assert_eq!(result.cells.len(), config.num_cells());
+        let central = result
+            .cell(
+                ScenarioKind::SyntheticGaussian,
+                PrivacyRegime::CentralDp,
+                PolicyKind::LinUcb,
+            )
+            .unwrap();
+        // The curator ingests every taken reporting opportunity directly.
+        assert_eq!(central.shared_reports, central.submitted_reports);
+        assert!(central.shared_reports > 0);
+        // ε is the stream's zCDP cost converted at the documented target δ.
+        let eps = central.epsilon.unwrap();
+        assert!(eps.is_finite() && eps > 0.0);
+        assert_eq!(central.delta, Some(CENTRAL_TARGET_DELTA));
+        assert!(central.batch_guarantees.is_empty());
+        // The expected ρ is the closed-form binary-mechanism bound.
+        let leaf_nodes = u64::BITS - (config.num_users as u64).leading_zeros();
+        let rho = f64::from(leaf_nodes) * CENTRAL_LEAF_SENSITIVITY * CENTRAL_LEAF_SENSITIVITY
+            / (2.0 * CENTRAL_SIGMA * CENTRAL_SIGMA);
+        let expected = p2b_privacy::rho_to_epsilon(rho, CENTRAL_TARGET_DELTA).unwrap();
+        assert!((eps - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn central_dp_is_bit_deterministic_at_any_worker_count() {
+        let base = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::CentralDp])
+            .with_policies(vec![PolicyKind::LinUcb])
+            .with_seed(23);
+        let mut serial = base.clone();
+        serial.cell_workers = 1;
+        let mut threaded = base;
+        threaded.cell_workers = 4;
+        let a = run_matrix(&serial).unwrap();
+        let b = run_matrix(&threaded).unwrap();
+        assert_eq!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn central_dp_requires_linucb_on_the_policy_axis() {
+        let bad = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::CentralDp])
+            .with_policies(vec![PolicyKind::Ucb1]);
+        assert!(run_matrix(&bad).is_err());
+
+        // With LinUcb present, unsupported combinations are skipped, not run.
+        let mixed = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::NonPrivate, PrivacyRegime::CentralDp])
+            .with_policies(vec![PolicyKind::LinUcb, PolicyKind::Ucb1])
+            .with_seed(3);
+        // NonPrivate × {LinUcb, Ucb1} + CentralDp × {LinUcb} = 3 cells.
+        assert_eq!(mixed.num_cells(), 3);
+        let result = run_matrix(&mixed).unwrap();
+        assert_eq!(result.cells.len(), 3);
+        assert!(result
+            .cells
+            .iter()
+            .all(|c| MatrixConfig::cell_supported(c.spec.regime, c.spec.policy)));
     }
 
     #[test]

@@ -26,14 +26,22 @@ pub enum PrivacyRegime {
     /// threshold) with per-batch (ε, δ) accounting from the
     /// [`p2b_privacy::AmplificationLedger`].
     P2bShuffle,
+    /// The classic central-DP baseline the paper positions P2B against: raw
+    /// `(x, a, r)` tuples go to a trusted curator, which releases the LinUCB
+    /// sufficient statistics through a [`p2b_privacy::TreeAggregator`]
+    /// (Gaussian noise on O(log T) dyadic partial sums) and accounts the
+    /// releases in ρ-zCDP via the [`p2b_privacy::ZcdpAccountant`].
+    CentralDp,
 }
 
 impl PrivacyRegime {
-    /// Every regime, ordered from no privacy to the paper's mechanism.
-    pub const ALL: [PrivacyRegime; 3] = [
+    /// Every regime, ordered from no privacy to the paper's mechanism, with
+    /// the central-DP comparison baseline last.
+    pub const ALL: [PrivacyRegime; 4] = [
         PrivacyRegime::NonPrivate,
         PrivacyRegime::LocalDp,
         PrivacyRegime::P2bShuffle,
+        PrivacyRegime::CentralDp,
     ];
 
     /// Stable identifier used in result files and CSV rows.
@@ -43,6 +51,7 @@ impl PrivacyRegime {
             PrivacyRegime::NonPrivate => "non_private",
             PrivacyRegime::LocalDp => "ldp_randomized_response",
             PrivacyRegime::P2bShuffle => "p2b_shuffle",
+            PrivacyRegime::CentralDp => "central_dp_tree",
         }
     }
 
@@ -52,11 +61,12 @@ impl PrivacyRegime {
         !matches!(self, PrivacyRegime::NonPrivate)
     }
 
-    /// Whether the regime needs a fitted context encoder (both private
-    /// regimes share codes, not raw contexts).
+    /// Whether the regime needs a fitted context encoder (the on-device
+    /// private regimes share codes, not raw contexts; the central-DP curator
+    /// receives raw contexts and privatizes on the server side).
     #[must_use]
     pub fn uses_encoder(&self) -> bool {
-        !matches!(self, PrivacyRegime::NonPrivate)
+        !matches!(self, PrivacyRegime::NonPrivate | PrivacyRegime::CentralDp)
     }
 }
 
@@ -66,6 +76,7 @@ impl fmt::Display for PrivacyRegime {
             PrivacyRegime::NonPrivate => "non-private",
             PrivacyRegime::LocalDp => "LDP randomized response",
             PrivacyRegime::P2bShuffle => "P2B shuffle",
+            PrivacyRegime::CentralDp => "central DP (tree aggregation)",
         };
         f.write_str(label)
     }
@@ -87,9 +98,15 @@ mod tests {
         assert!(!PrivacyRegime::NonPrivate.is_private());
         assert!(PrivacyRegime::LocalDp.is_private());
         assert!(PrivacyRegime::P2bShuffle.is_private());
+        assert!(PrivacyRegime::CentralDp.is_private());
         assert!(!PrivacyRegime::NonPrivate.uses_encoder());
         assert!(PrivacyRegime::LocalDp.uses_encoder());
         assert!(PrivacyRegime::P2bShuffle.uses_encoder());
+        assert!(
+            !PrivacyRegime::CentralDp.uses_encoder(),
+            "the curator receives raw contexts and privatizes server-side"
+        );
         assert!(PrivacyRegime::LocalDp.to_string().contains("LDP"));
+        assert!(PrivacyRegime::CentralDp.to_string().contains("central"));
     }
 }

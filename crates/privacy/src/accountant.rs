@@ -12,12 +12,17 @@ pub struct PrivacySpend {
     pub label: String,
 }
 
-/// Tracks the cumulative (ε, δ) spent by one agent across reports.
+/// Tracks the cumulative (ε, δ) spent by one agent across reports under
+/// classic sequential composition.
 ///
-/// The paper's discussion of "Draw and Discard" notes that an agent reporting
-/// `r` tuples enjoys (rε)-DP by sequential composition; this accountant makes
-/// that bookkeeping explicit and optionally enforces a budget so simulations
-/// can refuse to over-report.
+/// This is the simpler of the crate's two accounting backends: an agent
+/// reporting `r` tuples at ε each is charged exactly `rε` (Σεᵢ, Σδᵢ), with
+/// an optional budget so simulations can refuse to over-report. The
+/// companion [`crate::ZcdpAccountant`] composes the same spend sequence in
+/// ρ-zCDP, which is strictly tighter over long horizons (`O(√k)·ε` instead
+/// of `O(k)·ε`) but needs a target δ at query time; this accountant's
+/// totals are exact, deterministic, and backend-independent, so existing
+/// ledgers built on it are unchanged by the zCDP addition.
 ///
 /// ```
 /// use p2b_privacy::{PrivacyAccountant, PrivacyGuarantee};

@@ -11,7 +11,10 @@
 //! *Concentrated Differential Privacy for Bandits*) instead of quoting a
 //! single whole-deployment bound.
 
-use crate::{amplified_delta, amplified_epsilon, Participation, PrivacyError, PrivacyGuarantee};
+use crate::{
+    amplified_delta, amplified_epsilon, compare_composition, CompositionComparison, Participation,
+    PrivacyError, PrivacyGuarantee,
+};
 use serde::{Deserialize, Serialize};
 
 /// The amplification record of one released batch.
@@ -170,6 +173,28 @@ impl AmplificationLedger {
     pub fn composed_over(&self, batches: u32) -> Option<PrivacyGuarantee> {
         self.weakest().map(|w| w.guarantee.compose_n(batches))
     }
+
+    /// Routes the ledger's weakest batch guarantee through the
+    /// [`crate::ZcdpAccountant`]: composes `batches` copies of it in ρ-zCDP
+    /// and reports the resulting ε at `target_delta` side by side with the
+    /// pure sequential-composition ε from [`AmplificationLedger::composed_over`].
+    /// Over long horizons the zCDP ε grows as `O(√k)` instead of `O(k)` and
+    /// is strictly tighter. `None` if no non-empty batch was recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivacyError::InvalidParameter`] for a zero horizon or a
+    /// `target_delta` outside `(0, 1)`.
+    pub fn zcdp_composed_over(
+        &self,
+        batches: u32,
+        target_delta: f64,
+    ) -> Result<Option<CompositionComparison>, PrivacyError> {
+        match self.weakest() {
+            Some(w) => compare_composition(w.guarantee, batches, target_delta).map(Some),
+            None => Ok(None),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +271,29 @@ mod tests {
         let weakest = ledger.weakest().unwrap().guarantee;
         assert!((composed.epsilon() - 3.0 * weakest.epsilon()).abs() < 1e-12);
         assert!((composed.delta() - (3.0 * weakest.delta()).min(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zcdp_route_tightens_long_horizons_and_matches_pure_route_inputs() {
+        let mut ledger = ledger();
+        ledger.record_batch(100, 10).unwrap();
+        let cmp = ledger.zcdp_composed_over(10_000, 1e-6).unwrap().unwrap();
+        let pure = ledger.composed_over(10_000).unwrap();
+        assert_eq!(cmp.pure_epsilon.to_bits(), pure.epsilon().to_bits());
+        assert!(
+            cmp.zcdp_epsilon < cmp.pure_epsilon,
+            "zCDP ε {} must be strictly tighter than pure ε {} at horizon 10^4",
+            cmp.zcdp_epsilon,
+            cmp.pure_epsilon
+        );
+        assert!(ledger.zcdp_composed_over(0, 1e-6).is_err());
+        assert!(
+            AmplificationLedger::new(Participation::new(0.5).unwrap(), 0.1)
+                .unwrap()
+                .zcdp_composed_over(5, 1e-6)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

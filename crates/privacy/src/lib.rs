@@ -20,6 +20,13 @@
 //! baseline so P2B's trust model can be compared against RAPPOR-style
 //! randomization.
 //!
+//! Two additions support the central-DP baseline the paper compares against:
+//! a [`TreeAggregator`] releasing running sums through the binary mechanism
+//! (Gaussian noise on O(log T) dyadic partial sums per prefix, Dwork et al.
+//! 2010 / Chan–Shi–Song 2011), and a [`ZcdpAccountant`] composing privacy
+//! loss in ρ-zCDP with conversion to (ε, δ) at query time — the tight
+//! `O(√k)` alternative to sequential composition for long horizons.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +50,8 @@ mod crowd_blending;
 mod definitions;
 mod error;
 mod randomized_response;
+mod tree;
+mod zcdp;
 
 pub use accountant::{PrivacyAccountant, PrivacySpend};
 pub use amplification::{
@@ -53,3 +62,8 @@ pub use crowd_blending::CrowdBlending;
 pub use definitions::{Participation, PrivacyGuarantee};
 pub use error::PrivacyError;
 pub use randomized_response::RandomizedResponse;
+pub use tree::{prefix_nodes, TreeAggregator, TreeConfig, TreeNode};
+pub use zcdp::{
+    compare_composition, pure_dp_to_rho, rho_to_epsilon, CompositionComparison, ZcdpAccountant,
+    ZcdpSpend,
+};

@@ -2,7 +2,10 @@
 //! sampling (participation) rate drops, and crowd-blending threshold edge
 //! cases at the boundaries of the crowd size.
 
-use p2b_privacy::{amplified_delta, amplified_epsilon, CrowdBlending, Participation};
+use p2b_privacy::{
+    amplified_delta, amplified_epsilon, AmplificationLedger, CrowdBlending, Participation,
+    PrivacyAccountant, PrivacyGuarantee,
+};
 
 /// A descending ladder of participation rates from near-certain reporting
 /// down to near-total silence.
@@ -93,4 +96,46 @@ fn crowd_blending_boundary_at_exact_threshold() {
     assert!(crowd.is_satisfied_by(&[5, 5, 5]));
     assert!(!crowd.is_satisfied_by(&[5, 5]));
     assert_eq!(crowd.count_violations(&[5, 5]), 1);
+}
+
+#[test]
+fn legacy_pure_composition_totals_are_byte_identical() {
+    // The zCDP accounting backend is additive-only: the legacy
+    // PrivacyAccountant / AmplificationLedger sequential-composition path
+    // must produce bit-for-bit the values it always has. These constants
+    // were computed before the zCDP backend existed; any drift here means
+    // the legacy path changed behavior.
+    let p = Participation::new(0.5).unwrap();
+    let per_report = amplified_epsilon(p, 0.0).unwrap();
+    assert_eq!(per_report.to_bits(), std::f64::consts::LN_2.to_bits());
+
+    let mut accountant = PrivacyAccountant::new();
+    for _ in 0..7 {
+        accountant
+            .spend(PrivacyGuarantee::pure(per_report).unwrap(), "report")
+            .unwrap();
+    }
+    // 7 × ln 2 accumulated by repeated addition, exactly as before.
+    let mut expected = 0.0f64;
+    for _ in 0..7 {
+        expected += std::f64::consts::LN_2;
+    }
+    assert_eq!(accountant.total().epsilon().to_bits(), expected.to_bits());
+    assert_eq!(accountant.total().delta().to_bits(), 0.0f64.to_bits());
+
+    let mut ledger = AmplificationLedger::new(p, 0.1).unwrap();
+    ledger.record_batch(100, 10).unwrap();
+    ledger.record_batch(40, 3).unwrap();
+    let composed = ledger.composed_over(4).unwrap();
+    let weakest = ledger.weakest().unwrap().guarantee;
+    let expected_delta = amplified_delta(p, 3, 0.1).unwrap();
+    assert_eq!(weakest.delta().to_bits(), expected_delta.to_bits());
+    assert_eq!(
+        composed.epsilon().to_bits(),
+        (4.0 * std::f64::consts::LN_2).to_bits()
+    );
+    assert_eq!(
+        composed.delta().to_bits(),
+        (4.0 * expected_delta).min(1.0).to_bits()
+    );
 }

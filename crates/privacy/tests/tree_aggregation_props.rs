@@ -1,0 +1,152 @@
+//! Property-based tests for the binary-mechanism [`TreeAggregator`]: exact
+//! noiseless prefixes, the O(log T) noisy-node bound, and bit-determinism of
+//! releases across instances (runs) and push batching (worker counts).
+
+use p2b_privacy::{prefix_nodes, TreeAggregator, TreeConfig};
+use proptest::prelude::*;
+
+/// Builds an aggregator and pushes `values` as 1-dimensional leaves.
+fn push_all(sigma: f64, seed: u64, horizon: u64, values: &[f64]) -> TreeAggregator {
+    let mut tree = TreeAggregator::new(TreeConfig::new(1, horizon, sigma, seed)).unwrap();
+    for &v in values {
+        tree.push(&[v]).unwrap();
+    }
+    tree
+}
+
+proptest! {
+    /// With σ = 0 the released prefix equals the exact sequential running
+    /// sum bit for bit, at every prefix length.
+    #[test]
+    fn noiseless_prefixes_equal_exact_running_sums(
+        values in prop::collection::vec(-100.0f64..100.0, 1..200),
+        seed in any::<u64>(),
+    ) {
+        let horizon = values.len() as u64;
+        let mut tree = TreeAggregator::new(TreeConfig::new(1, horizon, 0.0, seed)).unwrap();
+        let mut exact = 0.0f64;
+        for &v in &values {
+            tree.push(&[v]).unwrap();
+            exact += v;
+            let released = tree.release();
+            prop_assert_eq!(
+                released[0].to_bits(),
+                exact.to_bits(),
+                "noiseless release must be the exact running sum"
+            );
+        }
+    }
+
+    /// Every prefix release touches at most ⌈log₂(T+1)⌉ noisy nodes — one
+    /// per set bit of the prefix length — and the nodes tile the prefix.
+    #[test]
+    fn prefixes_touch_at_most_log_t_nodes(t in 1u64..100_000) {
+        let nodes = prefix_nodes(t);
+        prop_assert_eq!(nodes.len(), t.count_ones() as usize);
+        let bound = (u64::BITS - t.leading_zeros()) as usize;
+        prop_assert!(
+            nodes.len() <= bound,
+            "{} nodes for prefix {} exceeds ceil(log2) bound {}",
+            nodes.len(), t, bound
+        );
+        // The dyadic blocks must partition [1, t]: sizes sum to t and each
+        // block size is a power of two matching its level.
+        let total: u64 = nodes.iter().map(|n| 1u64 << n.level).sum();
+        prop_assert_eq!(total, t);
+    }
+
+    /// The live aggregator agrees with the closed-form node decomposition.
+    #[test]
+    fn release_nodes_match_the_decomposition(
+        count in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let values: Vec<f64> = (0..count).map(|i| i as f64).collect();
+        let tree = push_all(1.0, seed, count as u64, &values);
+        prop_assert_eq!(tree.release_nodes(), prefix_nodes(count as u64));
+        prop_assert!(
+            tree.release_nodes().len() <= tree.max_nodes_per_prefix() as usize
+        );
+    }
+
+    /// Releases are byte-identical across independently constructed
+    /// aggregators with the same seed — the "same run twice" guarantee.
+    #[test]
+    fn releases_are_deterministic_across_runs(
+        values in prop::collection::vec(0.0f64..1.0, 1..150),
+        seed in any::<u64>(),
+        sigma in 0.1f64..10.0,
+    ) {
+        let horizon = values.len() as u64;
+        let a = push_all(sigma, seed, horizon, &values);
+        let b = push_all(sigma, seed, horizon, &values);
+        let ra = a.release();
+        let rb = b.release();
+        let bits = |r: &[f64]| r.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&ra), bits(&rb));
+    }
+
+    /// Releases depend only on (seed, prefix length, values) — not on how
+    /// the pushes were batched over time. This is the worker-count
+    /// invariance: a curator fed by 1 or N workers in the same ingest order
+    /// releases identical bytes, because noise is a pure function of the
+    /// node coordinates, never of RNG state advanced elsewhere.
+    #[test]
+    fn releases_are_invariant_to_push_batching(
+        values in prop::collection::vec(0.0f64..1.0, 2..150),
+        seed in any::<u64>(),
+        split in 1usize..149,
+        sigma in 0.1f64..10.0,
+    ) {
+        let split = split.min(values.len() - 1);
+        let horizon = values.len() as u64;
+        // One shot.
+        let direct = push_all(sigma, seed, horizon, &values);
+        // Two "worker shifts": push a prefix, release mid-stream (extra
+        // releases must not perturb later ones), then push the rest.
+        let mut staged =
+            TreeAggregator::new(TreeConfig::new(1, horizon, sigma, seed)).unwrap();
+        for v in &values[..split] {
+            staged.push(&[*v]).unwrap();
+        }
+        let _ = staged.release();
+        for v in &values[split..] {
+            staged.push(&[*v]).unwrap();
+        }
+        let da = direct.release();
+        let db = staged.release();
+        let bits = |r: &[f64]| r.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&da), bits(&db));
+    }
+
+    /// Different seeds decorrelate the noise (same exact sums underneath).
+    #[test]
+    fn different_seeds_give_different_noise(
+        count in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let values: Vec<f64> = vec![0.5; count];
+        let a = push_all(2.0, seed, count as u64, &values);
+        let b = push_all(2.0, seed.wrapping_add(1), count as u64, &values);
+        prop_assert!(a.release()[0].to_bits() != b.release()[0].to_bits());
+    }
+}
+
+#[test]
+fn multi_dimensional_releases_are_per_coordinate_running_sums() {
+    // A 3-dimensional noiseless stream: every coordinate is an independent
+    // exact prefix sum.
+    let mut tree = TreeAggregator::new(TreeConfig::new(3, 16, 0.0, 9)).unwrap();
+    let mut exact = [0.0f64; 3];
+    for t in 0..16u64 {
+        let leaf = [t as f64, 1.0, -0.25 * t as f64];
+        tree.push(&leaf).unwrap();
+        for (e, l) in exact.iter_mut().zip(leaf) {
+            *e += l;
+        }
+        let released = tree.release();
+        for (r, e) in released.iter().zip(exact) {
+            assert_eq!(r.to_bits(), e.to_bits());
+        }
+    }
+}
