@@ -44,7 +44,7 @@ mod ucb1;
 pub use epsilon_greedy::{EpsilonGreedy, EpsilonGreedyConfig};
 pub use error::BanditError;
 pub use linucb::{
-    ArmStatistics, CoalescedUpdate, F32Scorer, LinUcb, LinUcbConfig, SelectScratch,
+    ArmStatistics, CoalescedUpdate, F32Scorer, IngestScratch, LinUcb, LinUcbConfig, SelectScratch,
     SelectScratchF32,
 };
 pub use policy::{Action, ContextualPolicy, Reward};

@@ -3,9 +3,11 @@
 use crate::policy::{check_action, check_context, check_reward, random_action};
 use crate::{Action, BanditError, ContextualPolicy, Reward};
 use p2b_linalg::{
-    Matrix, RankOneInverse, ScoreArena, ScoreArenaF32, ScoreScratch, ScoreScratchF32, Vector,
+    Matrix, RankOneInverse, ScoreArena, ScoreArenaF32, ScoreScratch, ScoreScratchF32,
+    UpdateScratch, Vector,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of a [`LinUcb`] policy.
 ///
@@ -247,6 +249,48 @@ impl SelectScratch {
     }
 }
 
+/// Reusable scratch buffers for the allocation-free ingest path
+/// ([`LinUcb::update_coalesced_with`] / [`LinUcb::update_batch_with`]).
+///
+/// Wraps a linalg [`UpdateScratch`] (the `A⁻¹x` fold lane and the refresh
+/// factor/column buffers) plus the per-batch touched-arm tracking used to
+/// defer arena syncs to once per touched arm per batch. One `IngestScratch`
+/// serves models of any shape; like every scratch in this crate it carries
+/// no behavioral state — a fresh scratch and a warm one produce bit-identical
+/// models.
+#[derive(Debug, Clone, Default)]
+pub struct IngestScratch {
+    linalg: UpdateScratch,
+    /// Per-arm "touched this batch" flags; sized to `num_actions` on use.
+    dirty: Vec<bool>,
+    /// Arm indices touched by the last [`LinUcb::update_batch_with`] call,
+    /// in order of first touch.
+    touched: Vec<usize>,
+}
+
+impl IngestScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm indices touched by the most recent [`LinUcb::update_batch_with`]
+    /// call, in order of first touch. This is how ingest shards report their
+    /// dirty-arm sets for incremental epoch assembly.
+    #[must_use]
+    pub fn touched(&self) -> &[usize] {
+        &self.touched
+    }
+
+    /// Resets the per-batch touch tracking for a model with `num_actions` arms.
+    fn begin_batch(&mut self, num_actions: usize) {
+        self.dirty.clear();
+        self.dirty.resize(num_actions, false);
+        self.touched.clear();
+    }
+}
+
 /// Reusable scratch buffers for the f32 scoring tier
 /// ([`F32Scorer::select_action_with`]).
 #[derive(Debug, Clone, Default)]
@@ -343,11 +387,16 @@ fn pick_best(
 #[derive(Debug, Clone)]
 pub struct LinUcb {
     config: LinUcbConfig,
-    arms: Vec<Arm>,
+    /// Per-arm statistics behind `Arc` so cloning a model (epoch snapshot
+    /// publication) is O(arms) pointer bumps, not O(arms·d²) copies, and
+    /// arms untouched between epochs share storage across snapshots.
+    /// Mutation goes through `Arc::make_mut` (copy-on-write).
+    arms: Vec<Arc<Arm>>,
     observations: u64,
     /// Flat scoring mirror of all arms (inverse + cached θ), element-major.
-    /// Derived state: re-synced from `arms` after every mutation.
-    arena: ScoreArena,
+    /// Derived state: re-synced from `arms` after every mutation. Shared
+    /// copy-on-write across clones like the arms.
+    arena: Arc<ScoreArena>,
     /// Buffer for recomputing θ during arena syncs; always `d` long.
     theta_scratch: Vec<f64>,
 }
@@ -381,9 +430,12 @@ impl LinUcb {
     pub fn new(config: LinUcbConfig) -> Result<Self, BanditError> {
         config.validate()?;
         let arms = (0..config.num_actions)
-            .map(|_| Arm::new(config.context_dimension, config.regularizer))
+            .map(|_| Arm::new(config.context_dimension, config.regularizer).map(Arc::new))
             .collect::<Result<Vec<_>, _>>()?;
-        let arena = ScoreArena::new(config.num_actions, config.context_dimension)?;
+        let arena = Arc::new(ScoreArena::new(
+            config.num_actions,
+            config.context_dimension,
+        )?);
         let mut policy = Self {
             config,
             arms,
@@ -451,14 +503,14 @@ impl LinUcb {
                     ),
                 });
             }
-            arms.push(Arm {
+            arms.push(Arc::new(Arm {
                 inverse: RankOneInverse::from_matrix(&stats.design)?,
                 reward_vector: stats.reward_vector.clone(),
                 pulls: stats.pulls,
-            });
+            }));
             observations += stats.pulls;
         }
-        let arena = ScoreArena::new(config.num_actions, d)?;
+        let arena = Arc::new(ScoreArena::new(config.num_actions, d)?);
         let mut policy = Self {
             config,
             arms,
@@ -485,10 +537,10 @@ impl LinUcb {
             theta_scratch,
             ..
         } = self;
-        let arm = &arms[idx];
+        let arm = arms[idx].as_ref();
         arm.inverse
             .solve_into(arm.reward_vector.as_slice(), theta_scratch)?;
-        arena.load_arm(idx, arm.inverse.inverse(), theta_scratch)?;
+        Arc::make_mut(arena).load_arm(idx, arm.inverse.inverse(), theta_scratch)?;
         Ok(())
     }
 
@@ -600,13 +652,52 @@ impl LinUcb {
         check_context(self.config.context_dimension, update.context())?;
         check_action(self.config.num_actions, update.action())?;
         let idx = update.action().index();
-        let arm = &mut self.arms[idx];
+        let arm = Arc::make_mut(&mut self.arms[idx]);
         arm.inverse
             .update_weighted(update.context(), update.count() as f64)?;
         arm.reward_vector
             .axpy(update.reward_sum(), update.context())?;
         arm.pulls += update.count();
         self.observations += update.count();
+        self.sync_arm(idx)?;
+        Ok(())
+    }
+
+    /// The coalesced fold without the arena sync, through a caller-owned
+    /// [`UpdateScratch`]. Shared by the `_with` entry points; the caller is
+    /// responsible for re-syncing the touched arm before the model is scored.
+    fn fold_coalesced(
+        &mut self,
+        update: &CoalescedUpdate,
+        scratch: &mut UpdateScratch,
+    ) -> Result<usize, BanditError> {
+        check_context(self.config.context_dimension, update.context())?;
+        check_action(self.config.num_actions, update.action())?;
+        let idx = update.action().index();
+        let arm = Arc::make_mut(&mut self.arms[idx]);
+        arm.inverse
+            .update_weighted_with(update.context(), update.count() as f64, scratch)?;
+        arm.reward_vector
+            .axpy(update.reward_sum(), update.context())?;
+        arm.pulls += update.count();
+        self.observations += update.count();
+        Ok(idx)
+    }
+
+    /// Allocation-free variant of [`LinUcb::update_coalesced`] using a
+    /// caller-owned [`IngestScratch`]; bit-identical resulting model (the
+    /// fold runs the same weighted Sherman–Morrison kernel, and the arm is
+    /// re-synced immediately).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LinUcb::update_coalesced`].
+    pub fn update_coalesced_with(
+        &mut self,
+        update: &CoalescedUpdate,
+        scratch: &mut IngestScratch,
+    ) -> Result<(), BanditError> {
+        let idx = self.fold_coalesced(update, &mut scratch.linalg)?;
         self.sync_arm(idx)?;
         Ok(())
     }
@@ -629,6 +720,129 @@ impl LinUcb {
             folded += update.count();
         }
         Ok(folded)
+    }
+
+    /// The fast ingest path: folds a batch of coalesced sufficient statistics
+    /// through a caller-owned [`IngestScratch`], syncing the scoring arena
+    /// **once per touched arm per batch** instead of after every fold.
+    ///
+    /// The resulting model is bit-identical to [`LinUcb::update_batch`]
+    /// (pinned by the `update_agreement` proptests): each fold runs the same
+    /// weighted Sherman–Morrison kernel, and an arm's arena lanes are a pure
+    /// function of its final `(A⁻¹, b)` state, so syncing once after the last
+    /// fold yields the same lanes as syncing after every fold. What changes
+    /// is the cost: the per-mutation `O(d²)` solve + strided arena scatter is
+    /// amortized over all of a batch's folds into the same arm.
+    ///
+    /// After the call, [`IngestScratch::touched`] lists the arms this batch
+    /// mutated (in order of first touch) — the dirty set ingest shards report
+    /// for incremental epoch assembly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing update; earlier folds in the batch stay
+    /// applied and every arm touched before the failure is re-synced, so the
+    /// model remains internally consistent.
+    pub fn update_batch_with(
+        &mut self,
+        updates: &[CoalescedUpdate],
+        scratch: &mut IngestScratch,
+    ) -> Result<u64, BanditError> {
+        scratch.begin_batch(self.config.num_actions);
+        let mut folded = 0u64;
+        let mut failure = None;
+        for update in updates {
+            match self.fold_coalesced(update, &mut scratch.linalg) {
+                Ok(idx) => {
+                    if !scratch.dirty[idx] {
+                        scratch.dirty[idx] = true;
+                        scratch.touched.push(idx);
+                    }
+                    folded += update.count();
+                }
+                Err(error) => {
+                    failure = Some(error);
+                    break;
+                }
+            }
+        }
+        for i in 0..scratch.touched.len() {
+            self.sync_arm(scratch.touched[i])?;
+        }
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(folded),
+        }
+    }
+
+    /// Resets one arm to its cold-start state (design `λI`, zero reward
+    /// vector, zero pulls), subtracting the arm's pulls from the model's
+    /// observation count.
+    ///
+    /// Together with [`LinUcb::merge_arm`] this is the incremental epoch
+    /// assembly primitive: a persistent assembled model re-derives a dirty
+    /// arm by resetting it and re-merging that arm from every shard, leaving
+    /// clean arms (and their shared `Arc` storage) untouched.
+    ///
+    /// The subtraction is exact because every mutation path adds pulls and
+    /// observations in lockstep, so `observations == Σ arm pulls` holds for
+    /// any model built purely from updates and merges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidAction`] for out-of-range actions.
+    pub fn reset_arm(&mut self, action: Action) -> Result<(), BanditError> {
+        check_action(self.config.num_actions, action)?;
+        let idx = action.index();
+        let old_pulls = self.arms[idx].pulls;
+        self.arms[idx] = Arc::new(Arm::new(
+            self.config.context_dimension,
+            self.config.regularizer,
+        )?);
+        self.observations = self.observations.saturating_sub(old_pulls);
+        self.sync_arm(idx)
+    }
+
+    /// Merges one arm's sufficient statistics from `other` into the same arm
+    /// of this model — the per-arm slice of [`LinUcb::merge`], with the exact
+    /// same arithmetic sequence (design sum minus one shared prior, reward
+    /// vector sum, Cholesky refresh of the inverse), so re-deriving an arm
+    /// via `reset_arm` + `merge_arm` per shard in shard order is bit-identical
+    /// to that arm's state under a full from-scratch rebuild.
+    ///
+    /// Observations are accounted by the merged arm's pulls (the single-arm
+    /// share of `other`'s observation count; for shard models built purely
+    /// from coalesced updates, summing pull counts over arms and shards
+    /// equals summing shard observation counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidConfig`] for incompatible models and
+    /// [`BanditError::InvalidAction`] for out-of-range actions.
+    pub fn merge_arm(&mut self, action: Action, other: &LinUcb) -> Result<(), BanditError> {
+        if other.config.context_dimension != self.config.context_dimension
+            || other.config.num_actions != self.config.num_actions
+        {
+            return Err(BanditError::InvalidConfig {
+                parameter: "merge_arm",
+                message: format!(
+                    "incompatible models: ({}, {}) vs ({}, {})",
+                    self.config.context_dimension,
+                    self.config.num_actions,
+                    other.config.context_dimension,
+                    other.config.num_actions
+                ),
+            });
+        }
+        check_action(self.config.num_actions, action)?;
+        let idx = action.index();
+        let theirs = other.arms[idx].as_ref();
+        let mine = Arc::make_mut(&mut self.arms[idx]);
+        mine.inverse.merge(&theirs.inverse)?;
+        mine.reward_vector = mine.reward_vector.add(&theirs.reward_vector)?;
+        mine.pulls += theirs.pulls;
+        self.observations += theirs.pulls;
+        self.sync_arm(idx)
     }
 
     /// Proposes the arm with the highest upper confidence bound without
@@ -784,6 +998,7 @@ impl LinUcb {
             });
         }
         for (mine, theirs) in self.arms.iter_mut().zip(other.arms.iter()) {
+            let mine = Arc::make_mut(mine);
             mine.inverse.merge(&theirs.inverse)?;
             mine.reward_vector = mine.reward_vector.add(&theirs.reward_vector)?;
             mine.pulls += theirs.pulls;
@@ -925,7 +1140,7 @@ impl ContextualPolicy for LinUcb {
         check_context(self.config.context_dimension, context)?;
         check_action(self.config.num_actions, action)?;
         check_reward(reward)?;
-        self.arms[action.index()].update(context, reward)?;
+        Arc::make_mut(&mut self.arms[action.index()]).update(context, reward)?;
         self.observations += 1;
         self.sync_arm(action.index())?;
         Ok(())

@@ -1,9 +1,11 @@
 //! Micro-benchmarks of central-model batch ingestion: the sequential
 //! per-report path against the coalescing sufficient-statistics path, at
-//! the code-reuse levels produced by crowd-blending thresholds.
+//! the code-reuse levels produced by crowd-blending thresholds; plus the
+//! model-level update path (per-update arena sync vs batch-deferred
+//! scratch sync) underneath the server.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use p2b_bandit::ContextualPolicy;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use p2b_bandit::{Action, CoalescedUpdate, ContextualPolicy, IngestScratch, LinUcb, LinUcbConfig};
 use p2b_core::{CentralServer, P2bConfig};
 use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder};
 use p2b_linalg::Vector;
@@ -96,5 +98,69 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest);
+/// One coalesced batch at a model shape for the update-path benchmark.
+fn update_batch(dimension: usize, actions: usize, len: usize) -> Vec<CoalescedUpdate> {
+    let mut rng = StdRng::seed_from_u64(29);
+    (0..len)
+        .map(|_| {
+            let raw: Vec<f64> = (0..dimension).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+            let context = Vector::from(raw).normalized_l1().expect("non-empty");
+            let count = rng.gen_range(1u64..10);
+            let reward_sum = rng.gen_range(0.0..=count as f64);
+            CoalescedUpdate::new(
+                context,
+                Action::new(rng.gen_range(0..actions)),
+                count,
+                reward_sum,
+            )
+            .expect("generated updates are well-formed")
+        })
+        .collect()
+}
+
+/// The model-level update path underneath the server: each iteration folds
+/// one coalesced batch into a fresh model, either through the reference
+/// per-update arena sync or the scratch path that defers the theta solve
+/// and arena scatter to once per touched arm per batch. Shapes span the
+/// native 10-arm stream and the wide 32-arm regime where the deferred sync
+/// pays the most.
+fn bench_update_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_update");
+    for &(dimension, actions) in &[(DIMENSION, ACTIONS), (DIMENSION, 32usize)] {
+        let updates = update_batch(dimension, actions, BATCH);
+        let shape = format!("d{dimension}a{actions}");
+        group.bench_with_input(
+            BenchmarkId::new("reference", &shape),
+            &updates,
+            |b, updates| {
+                b.iter_batched(
+                    || LinUcb::new(LinUcbConfig::new(dimension, actions)).unwrap(),
+                    |mut model| {
+                        model.update_batch(updates).unwrap();
+                        model.observations()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scratch", &shape),
+            &updates,
+            |b, updates| {
+                let mut scratch = IngestScratch::new();
+                b.iter_batched(
+                    || LinUcb::new(LinUcbConfig::new(dimension, actions)).unwrap(),
+                    |mut model| {
+                        model.update_batch_with(updates, &mut scratch).unwrap();
+                        model.observations()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_update_path);
 criterion_main!(benches);

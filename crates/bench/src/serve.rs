@@ -56,11 +56,12 @@ use crate::histogram::{LatencyHistogram, LatencySummary};
 use crate::Scale;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use p2b_bandit::{
-    Action, ContextualPolicy, F32Scorer, LinUcb, LinUcbConfig, SelectScratch, SelectScratchF32,
+    Action, CoalescedUpdate, ContextualPolicy, F32Scorer, IngestScratch, LinUcb, LinUcbConfig,
+    SelectScratch, SelectScratchF32,
 };
 use p2b_core::{
-    AgentPool, AgentPoolConfig, AgentSource, CentralServer, P2bConfig, P2bSystem, PoolStats,
-    RewardJoinBuffer,
+    AgentPool, AgentPoolConfig, AgentSource, CentralServer, ModelService, P2bConfig, P2bSystem,
+    PoolStats, RewardJoinBuffer,
 };
 use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder};
 use p2b_linalg::Vector;
@@ -367,6 +368,10 @@ pub struct ServeReport {
     pub deterministic: DeterministicSummary,
     /// Decision latency digest (checkout + select + checkin).
     pub decision_latency: LatencySummary,
+    /// Per-epoch flush latency digest: drain barrier + canonical sort +
+    /// engine flush + coalesced ingest + snapshot assembly, one sample per
+    /// flush (including the shutdown flush).
+    pub flush_latency: LatencySummary,
     /// Wall-clock throughput.
     pub throughput: ThroughputSection,
     /// Merged pool counters.
@@ -387,6 +392,7 @@ impl ServeReport {
         let mut redacted = self.clone();
         redacted.config.workers = 0;
         redacted.decision_latency = self.decision_latency.redact_timing();
+        redacted.flush_latency = self.flush_latency.redact_timing();
         redacted.throughput = ThroughputSection {
             wall_secs: 0.0,
             decisions_per_sec: 0.0,
@@ -637,6 +643,7 @@ pub fn run_full(config: &ServeConfig, slo: &SloConfig, scale_label: &str) -> Ser
     let mut flushes = 0u64;
     let mut admitted = 0u64;
     let mut histogram = LatencyHistogram::new();
+    let mut flush_histogram = LatencyHistogram::new();
     let mut pool_stats_sum = PoolStats::default();
     let mut in_flight_at_shutdown = 0u64;
     let mut wall_secs = 0.0f64;
@@ -770,6 +777,7 @@ pub fn run_full(config: &ServeConfig, slo: &SloConfig, scale_label: &str) -> Ser
 
             // ── Epoch boundary: drain, flush, refresh ───────────────────
             if (round + 1) % config.rounds_per_epoch == 0 || round + 1 == rounds {
+                let flush_started = Instant::now();
                 for tx in &job_txs {
                     tx.send(Job::Drain).expect("workers outlive the run");
                 }
@@ -791,6 +799,7 @@ pub fn run_full(config: &ServeConfig, slo: &SloConfig, scale_label: &str) -> Ser
                 }
                 flushes += 1;
                 source = AgentSource::capture(&mut system).expect("snapshot capture succeeds");
+                flush_histogram.record(flush_started.elapsed().as_nanos() as u64);
                 for tx in &job_txs {
                     tx.send(Job::Refresh(source.clone()))
                         .expect("workers outlive the run");
@@ -822,6 +831,7 @@ pub fn run_full(config: &ServeConfig, slo: &SloConfig, scale_label: &str) -> Ser
             }
         }
         if !final_reports.is_empty() {
+            let flush_started = Instant::now();
             canonical_sort(&mut final_reports);
             reports_submitted += final_reports.len() as u64;
             let flush_seed = splitmix64(config.seed ^ (0xF1A5 << 16) ^ flushes);
@@ -834,6 +844,7 @@ pub fn run_full(config: &ServeConfig, slo: &SloConfig, scale_label: &str) -> Ser
             }
             flushes += 1;
             source = AgentSource::capture(&mut system).expect("snapshot capture succeeds");
+            flush_histogram.record(flush_started.elapsed().as_nanos() as u64);
         }
         wall_secs = started.elapsed().as_secs_f64();
     });
@@ -920,12 +931,13 @@ pub fn run_full(config: &ServeConfig, slo: &SloConfig, scale_label: &str) -> Ser
     let pass = violations.is_empty();
 
     ServeReport {
-        schema_version: 1,
+        schema_version: 2,
         mode: ServeMode::Full.name().to_owned(),
         scale: scale_label.to_owned(),
         config: config.clone(),
         deterministic,
         decision_latency,
+        flush_latency: flush_histogram.summary(),
         throughput: ThroughputSection {
             wall_secs,
             decisions_per_sec: admitted as f64 / wall_secs.max(1e-12),
@@ -964,6 +976,14 @@ pub fn print_full_report(report: &ServeReport) {
     println!(
         "decision latency (ns): p50 {} p95 {} p99 {} max {} over {} decisions",
         l.p50_nanos, l.p95_nanos, l.p99_nanos, l.max_nanos, l.count
+    );
+    let f = &report.flush_latency;
+    println!(
+        "epoch flush latency (us): p50 {} p95 {} max {} over {} flushes",
+        f.p50_nanos / 1_000,
+        f.p95_nanos / 1_000,
+        f.max_nanos / 1_000,
+        f.count
     );
     let mean_occupancy = d.join_occupancy_sum as f64 / d.rounds.max(1) as f64;
     println!(
@@ -1050,17 +1070,24 @@ fn producer_stream(arrival: &ArrivalProcess, producer: usize, reports: usize) ->
 /// One measured configuration, serialized into `BENCH_ingest.json`.
 #[derive(Debug, Serialize)]
 struct BenchRecord {
-    /// `"engine"` (part 1) or `"ingest"` (part 2).
+    /// `"engine"` (part 1), `"ingest"` (part 2), `"update"` (part 3) or
+    /// `"assemble"` (part 4).
     stage: String,
-    /// `"sharded"` for the engine, `"sequential"`/`"coalesced"` for ingest.
+    /// `"sharded"` for the engine, `"sequential"`/`"coalesced"` for ingest,
+    /// `"reference"`/`"scratch"` for the update path,
+    /// `"from_scratch"`/`"incremental"` for epoch assembly.
     mode: String,
     shards: usize,
+    /// Context dimension of the model under measurement.
+    dimension: usize,
+    /// Arms of the model under measurement.
+    actions: usize,
     batch_size: usize,
     reports: usize,
     batches: usize,
     wall_secs: f64,
     reports_per_sec: f64,
-    /// Speedup over the stage's single-threaded baseline.
+    /// Speedup over the stage's baseline at the same shape.
     speedup: f64,
 }
 
@@ -1071,7 +1098,78 @@ struct BenchOutput {
     /// Mean reports per distinct `(code, action)` pair in the ingest stream
     /// — the code-reuse factor the coalescer exploits.
     ingest_code_reuse: f64,
+    /// Best scratch-path speedup over the reference model update path
+    /// across shapes (the bar the CI smoke job enforces).
+    best_update_speedup: f64,
+    /// Best incremental-assembly speedup over the from-scratch rebuild
+    /// under sparse single-arm flushes.
+    best_assemble_speedup: f64,
     records: Vec<BenchRecord>,
+}
+
+/// One deterministic model digest, serialized into
+/// `BENCH_ingest_summary.json`.
+#[derive(Debug, Serialize)]
+struct IngestDigestRecord {
+    /// The measured configuration the digest came from.
+    stage: String,
+    mode: String,
+    shards: usize,
+    /// FNV-1a digest over the final model's exact statistics bits.
+    digest: String,
+}
+
+/// The wall-clock-free companion of `BENCH_ingest.json`: pure model digests
+/// that must be byte-identical across runs (and, within the coalesced
+/// ingest stage, across shard counts). The CI smoke job diffs two of them.
+#[derive(Debug, Serialize)]
+struct IngestSummary {
+    schema_version: u32,
+    scale: String,
+    reports: usize,
+    batch_size: usize,
+    codes: usize,
+    records: Vec<IngestDigestRecord>,
+}
+
+/// FNV-1a over a little-endian `u64`.
+fn fnv1a(hash: u64, word: u64) -> u64 {
+    let mut hash = hash;
+    for byte in word.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a digest of a model's exact statistics: observation count, then
+/// per arm the pull count and every design / reward-vector / theta
+/// coefficient bit. Bit-identical models — and only those — collide.
+fn model_digest(model: &LinUcb) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    hash = fnv1a(hash, model.observations());
+    for arm in 0..model.config().num_actions {
+        let action = Action::new(arm);
+        hash = fnv1a(hash, model.pulls(action).expect("arm index is in range"));
+        for &x in model
+            .design(action)
+            .expect("arm index is in range")
+            .as_slice()
+        {
+            hash = fnv1a(hash, x.to_bits());
+        }
+        for &x in model
+            .reward_vector(action)
+            .expect("arm index is in range")
+            .iter()
+        {
+            hash = fnv1a(hash, x.to_bits());
+        }
+        for &x in model.theta(action).expect("arm index is in range").iter() {
+            hash = fnv1a(hash, x.to_bits());
+        }
+    }
+    hash
 }
 
 struct EngineRun {
@@ -1167,7 +1265,11 @@ enum IngestMode {
     Coalesced { ingest_shards: usize },
 }
 
-fn run_ingest(mode: &IngestMode, encoder: &Arc<dyn Encoder>, batches: &[ShuffledBatch]) -> f64 {
+fn run_ingest(
+    mode: &IngestMode,
+    encoder: &Arc<dyn Encoder>,
+    batches: &[ShuffledBatch],
+) -> (f64, u64) {
     let shards = match mode {
         IngestMode::Sequential => 1,
         IngestMode::Coalesced { ingest_shards } => *ingest_shards,
@@ -1189,7 +1291,115 @@ fn run_ingest(mode: &IngestMode, encoder: &Arc<dyn Encoder>, batches: &[Shuffled
     let model = server.model().expect("assembly succeeds");
     let wall = start.elapsed().as_secs_f64();
     assert_eq!(model.observations(), accepted, "no update may be lost");
-    wall
+    (wall, model_digest(model))
+}
+
+/// Deterministic coalesced-update batches at one model shape for the
+/// model-level update benchmark (part 3): L1-normalized contexts, counts in
+/// 1..10, reward sums within `[0, count]`.
+fn update_batches(
+    dimension: usize,
+    actions: usize,
+    batch_len: usize,
+    batches: usize,
+    seed: u64,
+) -> Vec<Vec<CoalescedUpdate>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|_| {
+            (0..batch_len)
+                .map(|_| {
+                    let raw: Vec<f64> =
+                        (0..dimension).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+                    let context = Vector::from(raw).normalized_l1().expect("non-empty");
+                    let count = rng.gen_range(1u64..10);
+                    let reward_sum = rng.gen_range(0.0..=count as f64);
+                    CoalescedUpdate::new(
+                        context,
+                        Action::new(rng.gen_range(0..actions)),
+                        count,
+                        reward_sum,
+                    )
+                    .expect("generated updates are well-formed")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Times one full replay of `batches` through a fresh model on the chosen
+/// update path; returns the wall time and the final model's digest (the
+/// correctness sink — both paths must land on the same digest).
+fn time_update_path(
+    dimension: usize,
+    actions: usize,
+    batches: &[Vec<CoalescedUpdate>],
+    scratch: Option<&mut IngestScratch>,
+) -> (f64, u64) {
+    let mut model =
+        LinUcb::new(LinUcbConfig::new(dimension, actions)).expect("static shapes are valid");
+    let start = Instant::now();
+    match scratch {
+        None => {
+            for batch in batches {
+                model.update_batch(batch).expect("updates are well-formed");
+            }
+        }
+        Some(scratch) => {
+            for batch in batches {
+                model
+                    .update_batch_with(batch, scratch)
+                    .expect("updates are well-formed");
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (wall, model_digest(&model))
+}
+
+/// Times `epochs` sparse flush cycles against a [`ModelService`]: each
+/// epoch folds one single-report update into one arm and re-assembles the
+/// served model, either from scratch (the preserved reference) or
+/// incrementally over the dirty-arm union. Returns the wall time and the
+/// final model's digest.
+fn time_assemble_path(
+    dimension: usize,
+    actions: usize,
+    shards: usize,
+    epochs: usize,
+    incremental: bool,
+) -> (f64, u64) {
+    let mut service = ModelService::spawn(LinUcbConfig::new(dimension, actions), shards)
+        .expect("static shapes are valid");
+    let mut rng = StdRng::seed_from_u64(71);
+    let sparse_update = |arm: usize, rng: &mut StdRng| {
+        let raw: Vec<f64> = (0..dimension).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+        let context = Vector::from(raw).normalized_l1().expect("non-empty");
+        CoalescedUpdate::new(context, Action::new(arm), 1, 1.0)
+            .expect("generated updates are well-formed")
+    };
+    // Warm every arm and take the first (full-rebuild) assembly outside the
+    // timed region, so the measurement isolates the steady sparse-flush
+    // regime.
+    let warm: Vec<CoalescedUpdate> = (0..actions)
+        .map(|arm| sparse_update(arm, &mut rng))
+        .collect();
+    service.ingest(warm).expect("service threads are healthy");
+    let mut model = service.assemble_with_dirty().expect("assembly succeeds").0;
+    let start = Instant::now();
+    for epoch in 0..epochs {
+        let update = sparse_update(epoch % actions, &mut rng);
+        service
+            .ingest(vec![update])
+            .expect("service threads are healthy");
+        model = if incremental {
+            service.assemble_with_dirty().expect("assembly succeeds").0
+        } else {
+            service.assemble_reference().expect("assembly succeeds")
+        };
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (wall, model_digest(&model))
 }
 
 /// Legacy part 1 + 2: shuffler-engine shard scaling and sequential vs
@@ -1245,6 +1455,8 @@ pub fn run_ingest_mode(scale: Scale) {
             stage: "engine".to_owned(),
             mode: "sharded".to_owned(),
             shards: result.shards,
+            dimension: DIMENSION,
+            actions: ACTIONS,
             batch_size,
             reports: total,
             batches: result.batches,
@@ -1288,8 +1500,10 @@ pub fn run_ingest_mode(scale: Scale) {
         "mode", "shards", "wall (ms)", "reports/s", "speedup"
     );
     let mut ingest_baseline = None;
+    let mut digest_records = Vec::new();
+    let mut coalesced_digest: Option<u64> = None;
     for (name, mode) in &modes {
-        let wall_secs = run_ingest(mode, &encoder, &batches);
+        let (wall_secs, digest) = run_ingest(mode, &encoder, &batches);
         let rate = ingest_total as f64 / wall_secs;
         let baseline_rate = *ingest_baseline.get_or_insert(rate);
         let speedup = rate / baseline_rate;
@@ -1297,6 +1511,21 @@ pub fn run_ingest_mode(scale: Scale) {
             IngestMode::Sequential => 1,
             IngestMode::Coalesced { ingest_shards } => *ingest_shards,
         };
+        if let IngestMode::Coalesced { .. } = mode {
+            // Shard-count invariance: the dirty-arm merge is deterministic,
+            // so every coalesced shard count must land on the same model.
+            let expected = *coalesced_digest.get_or_insert(digest);
+            assert_eq!(
+                digest, expected,
+                "coalesced ingest diverged across shard counts (shards = {shards})"
+            );
+        }
+        digest_records.push(IngestDigestRecord {
+            stage: "ingest".to_owned(),
+            mode: (*name).to_owned(),
+            shards,
+            digest: format!("{digest:016x}"),
+        });
         println!(
             "{:>12} {:>7} {:>10.1} {:>14.0} {:>8.2}x",
             name,
@@ -1309,6 +1538,8 @@ pub fn run_ingest_mode(scale: Scale) {
             stage: "ingest".to_owned(),
             mode: (*name).to_owned(),
             shards,
+            dimension: DIMENSION,
+            actions: ACTIONS,
             batch_size: ingest_batch_size,
             reports: ingest_total,
             batches: ingest_batch_count,
@@ -1328,15 +1559,188 @@ pub fn run_ingest_mode(scale: Scale) {
          {coalesced_best:.2}x"
     );
 
+    // ── Part 3: model-level update path (reference vs arena scratch) ─────
+    // The wide shape is where the deferred per-arm arena sync pays: at 32
+    // arms the scatter stride makes the per-fold sync dominate the rank-1
+    // fold itself. The native 10-arm shape is recorded for honesty — the
+    // win there is real but smaller, because sync is cheaper at stride 10.
+    let update_batch_len = scale.pick(256, 512, 1_024);
+    let update_batch_count = scale.pick(64, 96, 128);
+    let update_shapes: [(usize, usize); 2] = [(DIMENSION, 32), (DIMENSION, ACTIONS)];
+    println!("\nModel update path: per-update arena sync vs batch-deferred scratch sync");
+    println!(
+        "{update_batch_count} coalesced batches of {update_batch_len} rank-k updates \
+         per shape, d = {DIMENSION}"
+    );
+    println!(
+        "\n{:>10} {:>5} {:>8} {:>10} {:>14} {:>9}",
+        "path", "d", "actions", "wall (ms)", "updates/s", "speedup"
+    );
+    let mut best_update = 0.0f64;
+    for (dimension, actions) in update_shapes {
+        let batches = update_batches(
+            dimension,
+            actions,
+            update_batch_len,
+            update_batch_count,
+            (dimension * 1_009 + actions) as u64,
+        );
+        let warmup = &batches[..(update_batch_count / 8).max(1)];
+        let mut scratch = IngestScratch::new();
+        // Warm both paths so allocator and branch-predictor effects do not
+        // favor the later configuration.
+        let _ = time_update_path(dimension, actions, warmup, None);
+        let _ = time_update_path(dimension, actions, warmup, Some(&mut scratch));
+        let (ref_wall, ref_digest) = time_update_path(dimension, actions, &batches, None);
+        let (scratch_wall, scratch_digest) =
+            time_update_path(dimension, actions, &batches, Some(&mut scratch));
+        // The scratch path defers the arena sync but must land on the exact
+        // model bits of the reference path.
+        assert_eq!(
+            ref_digest, scratch_digest,
+            "scratch update path diverged from the reference (d={dimension}, a={actions})"
+        );
+        let updates = update_batch_len * update_batch_count;
+        for (path, wall) in [("reference", ref_wall), ("scratch", scratch_wall)] {
+            let speedup = ref_wall / wall;
+            println!(
+                "{:>10} {:>5} {:>8} {:>10.1} {:>14.0} {:>8.2}x",
+                path,
+                dimension,
+                actions,
+                wall * 1e3,
+                updates as f64 / wall,
+                speedup
+            );
+            if path == "scratch" {
+                best_update = best_update.max(speedup);
+            }
+            records.push(BenchRecord {
+                stage: "update".to_owned(),
+                mode: path.to_owned(),
+                shards: 1,
+                dimension,
+                actions,
+                batch_size: update_batch_len,
+                reports: updates,
+                batches: update_batch_count,
+                wall_secs: wall,
+                reports_per_sec: updates as f64 / wall,
+                speedup,
+            });
+        }
+        digest_records.push(IngestDigestRecord {
+            stage: "update".to_owned(),
+            mode: format!("d{dimension}a{actions}"),
+            shards: 1,
+            digest: format!("{ref_digest:016x}"),
+        });
+    }
+    println!(
+        "\nbest scratch update speedup over the per-update reference path: \
+         {best_update:.2}x"
+    );
+    // The speedup bar CI's smoke job enforces. Deferring the theta solve
+    // and the strided arena scatter to once per touched arm per batch
+    // clears this with margin at the wide shape on any hardware.
+    assert!(
+        best_update >= 2.0,
+        "update fast path regressed below the 2x floor over the reference path"
+    );
+
+    // ── Part 4: epoch assembly (from-scratch rebuild vs dirty-arm merge) ─
+    let assemble_epochs = scale.pick(512, 2_048, 8_192);
+    let assemble_actions = 32usize;
+    println!("\nEpoch assembly under sparse flushes: full rebuild vs dirty-arm re-merge");
+    println!(
+        "{assemble_epochs} single-arm flush epochs, d = {DIMENSION}, \
+         {assemble_actions} actions"
+    );
+    println!(
+        "\n{:>12} {:>7} {:>10} {:>14} {:>9}",
+        "path", "shards", "wall (ms)", "epochs/s", "speedup"
+    );
+    let mut best_assemble = 0.0f64;
+    for shards in [1usize, 4] {
+        // Warm-up at a fraction of the epoch count.
+        let _ = time_assemble_path(
+            DIMENSION,
+            assemble_actions,
+            shards,
+            (assemble_epochs / 8).max(1),
+            false,
+        );
+        let (ref_wall, ref_digest) =
+            time_assemble_path(DIMENSION, assemble_actions, shards, assemble_epochs, false);
+        let (inc_wall, inc_digest) =
+            time_assemble_path(DIMENSION, assemble_actions, shards, assemble_epochs, true);
+        // Incremental assembly must serve the exact bits of the rebuild.
+        assert_eq!(
+            ref_digest, inc_digest,
+            "incremental assembly diverged from the from-scratch rebuild (shards = {shards})"
+        );
+        for (path, wall) in [("from_scratch", ref_wall), ("incremental", inc_wall)] {
+            let speedup = ref_wall / wall;
+            println!(
+                "{:>12} {:>7} {:>10.1} {:>14.0} {:>8.2}x",
+                path,
+                shards,
+                wall * 1e3,
+                assemble_epochs as f64 / wall,
+                speedup
+            );
+            if path == "incremental" {
+                best_assemble = best_assemble.max(speedup);
+            }
+            records.push(BenchRecord {
+                stage: "assemble".to_owned(),
+                mode: path.to_owned(),
+                shards,
+                dimension: DIMENSION,
+                actions: assemble_actions,
+                batch_size: 1,
+                reports: assemble_epochs,
+                batches: assemble_epochs,
+                wall_secs: wall,
+                reports_per_sec: assemble_epochs as f64 / wall,
+                speedup,
+            });
+        }
+        digest_records.push(IngestDigestRecord {
+            stage: "assemble".to_owned(),
+            mode: "sparse_flush".to_owned(),
+            shards,
+            digest: format!("{ref_digest:016x}"),
+        });
+    }
+    println!(
+        "\nbest incremental assembly speedup over the from-scratch rebuild: \
+         {best_assemble:.2}x"
+    );
+
     let output = BenchOutput {
         scale: format!("{scale:?}").to_lowercase(),
         hardware_threads: cores,
         ingest_code_reuse: reuse,
+        best_update_speedup: best_update,
+        best_assemble_speedup: best_assemble,
         records,
     };
     let json = serde_json::to_string_pretty(&output).expect("records serialize");
     std::fs::write("BENCH_ingest.json", json).expect("benchmark artifact is writable");
     println!("machine-readable results written to BENCH_ingest.json");
+
+    let summary = IngestSummary {
+        schema_version: 1,
+        scale: format!("{scale:?}").to_lowercase(),
+        reports: ingest_total,
+        batch_size: ingest_batch_size,
+        codes: ingest_codes,
+        records: digest_records,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("records serialize");
+    std::fs::write("BENCH_ingest_summary.json", json).expect("benchmark artifact is writable");
+    println!("deterministic model digests written to BENCH_ingest_summary.json");
 }
 
 /// One measured pool configuration, serialized into `BENCH_pool.json`.

@@ -427,10 +427,12 @@ impl AgentPool {
             return;
         };
         self.lru.remove(&stamp);
-        let resident = self.shards[shard]
-            .residents
-            .remove(&key)
-            .expect("LRU index and resident maps stay in sync");
+        // The LRU index and the resident maps move in lockstep; if an entry
+        // is somehow stale, dropping it from the index already repaired the
+        // books and there is nothing to dehydrate.
+        let Some(resident) = self.shards[shard].residents.remove(&key) else {
+            return;
+        };
         let (reports, dormant) = resident.agent.dehydrate();
         self.outbox.extend(reports);
         self.shards[shard].dormant.insert(key, dormant);

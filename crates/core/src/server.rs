@@ -1,7 +1,7 @@
 //! The central model server: validation, epoch bookkeeping and snapshot
 //! publication in front of the sharded [`ModelService`].
 
-use crate::coalesce::{coalesce_batch, CodeVectorCache};
+use crate::coalesce::{Coalescer, CodeVectorCache};
 use crate::{CodeRepresentation, CoreError, ModelService, ModelSnapshot, P2bConfig};
 use p2b_bandit::{Action, CoalescedUpdate, LinUcb};
 use p2b_encoding::Encoder;
@@ -44,6 +44,7 @@ pub struct CentralServer {
     ingested_reports: u64,
     epoch: u64,
     cached: Option<Arc<ModelSnapshot>>,
+    coalescer: Coalescer,
 }
 
 impl CentralServer {
@@ -73,6 +74,7 @@ impl CentralServer {
             ingested_reports: 0,
             epoch: 0,
             cached: None,
+            coalescer: Coalescer::default(),
         })
     }
 
@@ -105,12 +107,7 @@ impl CentralServer {
     /// Surfaces internal model-service failures (never triggered by
     /// malformed reports, which are rejected before dispatch).
     pub fn model(&mut self) -> Result<&LinUcb, CoreError> {
-        self.refresh_snapshot()?;
-        Ok(self
-            .cached
-            .as_ref()
-            .expect("refresh_snapshot populates the cache")
-            .model())
+        Ok(self.refresh_snapshot()?.model())
     }
 
     /// The epoch-versioned snapshot of the central model, shared behind an
@@ -121,20 +118,26 @@ impl CentralServer {
     ///
     /// Surfaces internal model-service failures.
     pub fn snapshot(&mut self) -> Result<Arc<ModelSnapshot>, CoreError> {
-        self.refresh_snapshot()?;
-        Ok(Arc::clone(
-            self.cached
-                .as_ref()
-                .expect("refresh_snapshot populates the cache"),
-        ))
+        Ok(Arc::clone(self.refresh_snapshot()?))
     }
 
-    fn refresh_snapshot(&mut self) -> Result<(), CoreError> {
+    /// Ensures the epoch's snapshot exists and returns a borrow of it.
+    ///
+    /// Since the incremental-assembly refactor the backing
+    /// [`ModelService::assemble`] re-merges only the arms dirtied since the
+    /// previous assembly, so the per-epoch refresh cost scales with how many
+    /// arms the epoch's flushes actually touched.
+    fn refresh_snapshot(&mut self) -> Result<&Arc<ModelSnapshot>, CoreError> {
         if self.cached.is_none() {
             let model = self.service.assemble()?;
             self.cached = Some(Arc::new(ModelSnapshot::new(self.epoch, model)));
         }
-        Ok(())
+        self.cached
+            .as_ref()
+            .ok_or_else(|| CoreError::InvalidConfig {
+                parameter: "central_server",
+                message: "snapshot cache empty after refresh".to_owned(),
+            })
     }
 
     /// Marks the model state changed: bump the epoch, invalidate the cached
@@ -194,7 +197,7 @@ impl CentralServer {
     /// Returns [`CoreError::Bandit`]/[`CoreError::Linalg`] only for internal
     /// model failures, not for malformed reports.
     pub fn ingest_batch_coalesced(&mut self, batch: &ShuffledBatch) -> Result<u64, CoreError> {
-        let coalesced = coalesce_batch(
+        let coalesced = self.coalescer.coalesce(
             self.representation,
             self.encoder.as_ref(),
             self.num_actions,

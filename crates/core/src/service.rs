@@ -41,7 +41,9 @@
 
 use crate::CoreError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use p2b_bandit::{BanditError, CoalescedUpdate, F32Scorer, LinUcb, LinUcbConfig};
+use p2b_bandit::{
+    Action, BanditError, CoalescedUpdate, F32Scorer, IngestScratch, LinUcb, LinUcbConfig,
+};
 use std::fmt;
 use std::sync::OnceLock;
 use std::thread::JoinHandle;
@@ -98,14 +100,27 @@ impl ModelSnapshot {
     }
 }
 
+/// A shard's reply to a snapshot request: its model plus the arms it has
+/// folded updates into since the dirty set was last taken.
+struct ShardState {
+    model: LinUcb,
+    /// Sorted arm indices this shard mutated since the last taking snapshot.
+    dirty: Vec<usize>,
+}
+
 /// What one ingest shard can be asked to do.
 enum ShardCommand {
     /// Fold a run of coalesced updates (all owned by this shard) into the
     /// shard model, in order.
     Apply(Vec<CoalescedUpdate>),
-    /// Reply with a clone of the shard model — or the first update error the
-    /// shard ever hit, if any.
-    Snapshot(Sender<Result<LinUcb, BanditError>>),
+    /// Reply with a clone of the shard model and its dirty-arm set — or the
+    /// first update error the shard ever hit, if any. When `take_dirty` is
+    /// set the shard clears its dirty tracking after replying (the requester
+    /// is consuming the set to re-merge exactly those arms).
+    Snapshot {
+        reply: Sender<Result<ShardState, BanditError>>,
+        take_dirty: bool,
+    },
 }
 
 /// One ingest shard: a worker thread owning the LinUCB arms whose action
@@ -115,24 +130,46 @@ struct IngestShard {
     worker: Option<JoinHandle<()>>,
 }
 
-/// The worker loop: apply update runs in FIFO order, remember the first
-/// internal failure, answer snapshot requests.
+/// The worker loop: apply update runs in FIFO order through the fast
+/// scratch-threaded batch path (arena synced once per touched arm per
+/// batch), remember the first internal failure, track which arms were
+/// folded since the last taking snapshot, answer snapshot requests.
 fn run_shard(commands: &Receiver<ShardCommand>, mut model: LinUcb) {
+    let num_actions = model.config().num_actions;
+    let mut scratch = IngestScratch::new();
+    let mut dirty = vec![false; num_actions];
     let mut failure: Option<BanditError> = None;
     while let Ok(command) = commands.recv() {
         match command {
             ShardCommand::Apply(updates) => {
                 if failure.is_none() {
-                    if let Err(error) = model.update_batch(&updates) {
+                    // Arms folded before a mid-batch failure are still
+                    // mutated (and re-synced), so their touch marks must be
+                    // kept either way.
+                    let result = model.update_batch_with(&updates, &mut scratch);
+                    for &idx in scratch.touched() {
+                        dirty[idx] = true;
+                    }
+                    if let Err(error) = result {
                         failure = Some(error);
                     }
                 }
             }
-            ShardCommand::Snapshot(reply) => {
+            ShardCommand::Snapshot { reply, take_dirty } => {
                 let response = match &failure {
                     Some(error) => Err(error.clone()),
-                    None => Ok(model.clone()),
+                    None => Ok(ShardState {
+                        model: model.clone(),
+                        dirty: dirty
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(idx, &is_dirty)| is_dirty.then_some(idx))
+                            .collect(),
+                    }),
                 };
+                if take_dirty && failure.is_none() {
+                    dirty.iter_mut().for_each(|flag| *flag = false);
+                }
                 // A dropped reply receiver just means the requester went
                 // away; the shard keeps serving.
                 let _ = reply.send(response);
@@ -155,6 +192,12 @@ fn run_shard(commands: &Receiver<ShardCommand>, mut model: LinUcb) {
 pub struct ModelService {
     shards: Vec<IngestShard>,
     config: LinUcbConfig,
+    /// The persistent assembled central model, re-merged incrementally:
+    /// after the first full rebuild, each assembly resets and re-merges only
+    /// the arms some shard folded since the previous assembly. `None` until
+    /// the first assembly, and reset to `None` if an incremental re-merge
+    /// fails partway (the next assembly then falls back to a full rebuild).
+    assembled: Option<LinUcb>,
 }
 
 impl ModelService {
@@ -185,6 +228,7 @@ impl ModelService {
         Ok(Self {
             shards: workers,
             config,
+            assembled: None,
         })
     }
 
@@ -242,43 +286,139 @@ impl ModelService {
             })
     }
 
-    /// Synchronizes with every ingest shard and assembles the current
-    /// central model, merging shard models in shard-index order.
-    ///
-    /// For a single shard this performs exactly the
-    /// `LinUcb::new + merge` arithmetic the pre-service warm start ran per
-    /// agent, so published snapshots are bit-compatible with the historical
-    /// behavior — but the work now happens once per epoch instead of once
-    /// per agent.
-    ///
-    /// # Errors
-    ///
-    /// Surfaces the first internal update error any shard encountered, or a
-    /// shard shutdown. Both indicate a bug rather than bad input: every
-    /// update is validated before dispatch.
-    pub fn assemble(&self) -> Result<LinUcb, CoreError> {
+    /// Requests a state snapshot from every shard and collects the replies
+    /// in shard-index order.
+    fn collect_shards(&self, take_dirty: bool) -> Result<Vec<ShardState>, CoreError> {
         let mut replies = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let (tx, rx) = unbounded();
             shard
                 .commands
-                .send(ShardCommand::Snapshot(tx))
+                .send(ShardCommand::Snapshot {
+                    reply: tx,
+                    take_dirty,
+                })
                 .map_err(|_| CoreError::InvalidConfig {
                     parameter: "model_service",
                     message: "ingest shard worker has shut down".to_owned(),
                 })?;
             replies.push(rx);
         }
-        let mut assembled = LinUcb::new(self.config)?;
+        let mut states = Vec::with_capacity(replies.len());
         for reply in replies {
-            let shard_model = reply
+            let state = reply
                 .recv()
                 .map_err(|_| CoreError::InvalidConfig {
                     parameter: "model_service",
                     message: "ingest shard worker has shut down".to_owned(),
                 })?
                 .map_err(CoreError::Bandit)?;
-            assembled.merge(&shard_model)?;
+            states.push(state);
+        }
+        Ok(states)
+    }
+
+    /// Synchronizes with every ingest shard and assembles the current
+    /// central model, re-merging only the arms some shard folded since the
+    /// previous assembly (see [`ModelService::assemble_with_dirty`]).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first internal update error any shard encountered, or a
+    /// shard shutdown. Both indicate a bug rather than bad input: every
+    /// update is validated before dispatch.
+    pub fn assemble(&mut self) -> Result<LinUcb, CoreError> {
+        self.assemble_with_dirty().map(|(model, _)| model)
+    }
+
+    /// Incremental epoch assembly: synchronizes with every ingest shard,
+    /// re-merges only the dirty arms into the persistent assembled model,
+    /// and returns the model together with the sorted dirty-arm union.
+    ///
+    /// The first call performs a full from-scratch rebuild (`LinUcb::new` +
+    /// per-shard [`LinUcb::merge`] in shard-index order) — exactly the
+    /// historical assembly arithmetic, which also fixes never-updated arms'
+    /// bit patterns to the post-merge Cholesky refresh. Every subsequent
+    /// call resets each dirty arm to cold and re-merges that arm from every
+    /// shard in shard order ([`LinUcb::reset_arm`] + [`LinUcb::merge_arm`]),
+    /// which runs the identical per-arm arithmetic the full rebuild would —
+    /// so the assembled model is bit-identical to a from-scratch rebuild
+    /// ([`ModelService::assemble_reference`]) at every epoch, while the
+    /// assembly cost scales with the number of *dirty* arms, not the number
+    /// of arms. Publication piggybacks on this: `LinUcb` stores its arms
+    /// behind per-arm `Arc`s, so the returned clone shares every clean arm's
+    /// storage with the previous epoch's snapshot.
+    ///
+    /// An arm appears in the dirty union iff some shard folded an update
+    /// into it since the previous taking assembly (the conservation
+    /// property pinned by the `assembly_equivalence` suite).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ModelService::assemble`]. If an incremental
+    /// re-merge fails partway, the persistent model is discarded so the next
+    /// assembly falls back to a full rebuild instead of serving a
+    /// half-merged state.
+    pub fn assemble_with_dirty(&mut self) -> Result<(LinUcb, Vec<usize>), CoreError> {
+        let states = self.collect_shards(true)?;
+        let mut dirty: Vec<usize> = states
+            .iter()
+            .flat_map(|state| state.dirty.iter().copied())
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        match self.assembled.take() {
+            None => {
+                let mut assembled = LinUcb::new(self.config)?;
+                for state in &states {
+                    assembled.merge(&state.model)?;
+                }
+                self.assembled = Some(assembled);
+            }
+            Some(mut assembled) => {
+                let mut remerge = || -> Result<(), CoreError> {
+                    for &arm in &dirty {
+                        let action = Action::new(arm);
+                        assembled.reset_arm(action)?;
+                        for state in &states {
+                            assembled.merge_arm(action, &state.model)?;
+                        }
+                    }
+                    Ok(())
+                };
+                // On failure `self.assembled` stays `None`: the next call
+                // rebuilds from scratch rather than reusing partial state.
+                remerge()?;
+                self.assembled = Some(assembled);
+            }
+        }
+        let model = self
+            .assembled
+            .as_ref()
+            .ok_or_else(|| CoreError::InvalidConfig {
+                parameter: "model_service",
+                message: "assembled model missing after assembly".to_owned(),
+            })?
+            .clone();
+        Ok((model, dirty))
+    }
+
+    /// From-scratch reference assembly: merges every shard model into a cold
+    /// model in shard-index order, without touching the persistent
+    /// incremental state or the shards' dirty tracking.
+    ///
+    /// This is the historical assembly path, preserved as the bit-exact
+    /// reference the incremental path is pinned against (and the baseline
+    /// the ingest benchmark measures assembly speedups from).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ModelService::assemble`].
+    pub fn assemble_reference(&self) -> Result<LinUcb, CoreError> {
+        let states = self.collect_shards(false)?;
+        let mut assembled = LinUcb::new(self.config)?;
+        for state in &states {
+            assembled.merge(&state.model)?;
         }
         Ok(assembled)
     }
@@ -329,7 +469,7 @@ mod tests {
 
     #[test]
     fn empty_service_assembles_a_cold_model() {
-        let service = ModelService::spawn(LinUcbConfig::new(2, 3), 2).unwrap();
+        let mut service = ModelService::spawn(LinUcbConfig::new(2, 3), 2).unwrap();
         assert_eq!(service.shards(), 2);
         let model = service.assemble().unwrap();
         assert_eq!(model.observations(), 0);
@@ -347,7 +487,7 @@ mod tests {
         ];
         let mut assembled = Vec::new();
         for shards in [1usize, 2, 4] {
-            let service = ModelService::spawn(LinUcbConfig::new(2, 4), shards).unwrap();
+            let mut service = ModelService::spawn(LinUcbConfig::new(2, 4), shards).unwrap();
             service.ingest(updates.clone()).unwrap();
             assembled.push(service.assemble().unwrap());
         }
@@ -377,7 +517,7 @@ mod tests {
     fn per_action_update_order_is_preserved_across_ingests() {
         // Two ingests hitting the same arm: the folded design is the ordered
         // sum either way, but pulls/observations must accumulate exactly.
-        let service = ModelService::spawn(LinUcbConfig::new(2, 2), 2).unwrap();
+        let mut service = ModelService::spawn(LinUcbConfig::new(2, 2), 2).unwrap();
         service.ingest(vec![update(0, 4, 2.0)]).unwrap();
         service
             .ingest(vec![update(0, 6, 3.0), update(1, 2, 2.0)])
@@ -394,7 +534,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
 
-        let service = ModelService::spawn(LinUcbConfig::new(2, 4), 2).unwrap();
+        let mut service = ModelService::spawn(LinUcbConfig::new(2, 4), 2).unwrap();
         service
             .ingest(vec![
                 update(0, 5, 4.0),
@@ -450,7 +590,7 @@ mod tests {
 
     #[test]
     fn internal_shard_failures_surface_on_assemble() {
-        let service = ModelService::spawn(LinUcbConfig::new(2, 2), 1).unwrap();
+        let mut service = ModelService::spawn(LinUcbConfig::new(2, 2), 1).unwrap();
         // A mis-dimensioned context slips past the (bypassed) validation.
         let bad = CoalescedUpdate::new(Vector::zeros(5), Action::new(0), 1, 0.0).unwrap();
         service.ingest(vec![bad]).unwrap();

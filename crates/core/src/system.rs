@@ -272,9 +272,10 @@ impl P2bSystem {
         for batch in &output.batches {
             stats.push(self.ingest_engine_batch(batch)?);
         }
-        let ledger = output
-            .ledger
-            .expect("spawn_engine always enables accounting");
+        let ledger = output.ledger.ok_or_else(|| CoreError::InvalidConfig {
+            parameter: "streaming_round",
+            message: "engine finished without an amplification ledger".to_owned(),
+        })?;
         Ok((stats, ledger))
     }
 

@@ -1,0 +1,205 @@
+//! Equivalence pins for the incremental epoch assembly.
+//!
+//! Since the dirty-arm refactor the [`ModelService`] keeps a persistent
+//! assembled model and re-merges only the arms some shard folded updates
+//! into since the previous assembly. Two properties make that safe, and both
+//! are pinned here over random workloads:
+//!
+//! 1. **Bit-identity** — at every epoch, on every shard count, the
+//!    incremental [`ModelService::assemble_with_dirty`] must equal the
+//!    preserved from-scratch [`ModelService::assemble_reference`] bit for
+//!    bit (designs, reward vectors, pulls, thetas), and must be independent
+//!    of the shard count.
+//! 2. **Dirty-set conservation** — an arm appears in the returned dirty
+//!    union iff some shard folded an update into it since the previous
+//!    taking assembly (the first assembly reports everything dirtied since
+//!    spawn).
+
+use p2b_bandit::{Action, CoalescedUpdate, ContextualPolicy, LinUcbConfig};
+use p2b_core::ModelService;
+use p2b_linalg::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+fn random_context(d: usize, rng: &mut StdRng) -> Vector {
+    let raw: Vector = (0..d).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+    raw.normalized_l1().unwrap()
+}
+
+fn random_updates(d: usize, a: usize, len: usize, rng: &mut StdRng) -> Vec<CoalescedUpdate> {
+    (0..len)
+        .map(|_| {
+            let count = rng.gen_range(1u64..10);
+            let reward_sum = rng.gen_range(0.0..=count as f64);
+            CoalescedUpdate::new(
+                random_context(d, rng),
+                Action::new(rng.gen_range(0..a)),
+                count,
+                reward_sum,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn check_bit_identical(left: &p2b_bandit::LinUcb, right: &p2b_bandit::LinUcb) {
+    let a = left.config().num_actions;
+    assert_eq!(left.observations(), right.observations());
+    for arm in 0..a {
+        let action = Action::new(arm);
+        assert_eq!(left.pulls(action).unwrap(), right.pulls(action).unwrap());
+        for (x, y) in left
+            .design(action)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(right.design(action).unwrap().as_slice().iter())
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "design diverged on arm {arm}");
+        }
+        for (x, y) in left
+            .reward_vector(action)
+            .unwrap()
+            .iter()
+            .zip(right.reward_vector(action).unwrap().iter())
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "reward vector diverged on arm {arm}"
+            );
+        }
+        for (x, y) in left
+            .theta(action)
+            .unwrap()
+            .iter()
+            .zip(right.theta(action).unwrap().iter())
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "theta diverged on arm {arm}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Across interleaved ingest/assemble epochs and shard counts {1, 2, 4},
+    /// the incremental assembly equals the from-scratch reference rebuild
+    /// bit for bit, and all shard counts agree with each other.
+    #[test]
+    fn incremental_assembly_matches_the_reference_at_every_epoch(
+        seed in any::<u64>(),
+        d in 1usize..5,
+        a in 1usize..7,
+        epochs in 1usize..5,
+    ) {
+        let mut services: Vec<ModelService> = [1usize, 2, 4]
+            .iter()
+            .map(|&shards| ModelService::spawn(LinUcbConfig::new(d, a), shards).unwrap())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for epoch in 0..epochs {
+            let len = rng.gen_range(1usize..12);
+            let updates = random_updates(d, a, len, &mut rng);
+            let mut assembled_per_shard_count = Vec::new();
+            for service in &mut services {
+                service.ingest(updates.clone()).unwrap();
+                // The reference is taken first: it must not consume the
+                // shards' dirty tracking.
+                let reference = service.assemble_reference().unwrap();
+                let (incremental, _) = service.assemble_with_dirty().unwrap();
+                check_bit_identical(&reference, &incremental);
+                assembled_per_shard_count.push(incremental);
+            }
+            for other in &assembled_per_shard_count[1..] {
+                check_bit_identical(&assembled_per_shard_count[0], other);
+            }
+            prop_assert!(epoch < epochs);
+        }
+    }
+
+    /// An arm is re-merged iff some shard folded an update into it since the
+    /// previous taking assembly. The first assembly reports every arm
+    /// dirtied since spawn; an assembly with no interleaved ingest reports
+    /// an empty dirty set (and still serves the identical model).
+    #[test]
+    fn dirty_sets_conserve_the_touched_arms(
+        seed in any::<u64>(),
+        d in 1usize..4,
+        a in 2usize..8,
+        shards in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+        epochs in 1usize..5,
+    ) {
+        let mut service = ModelService::spawn(LinUcbConfig::new(d, a), shards).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..epochs {
+            let len = rng.gen_range(1usize..10);
+            let updates = random_updates(d, a, len, &mut rng);
+            let expected: BTreeSet<usize> =
+                updates.iter().map(|u| u.action().index()).collect();
+            service.ingest(updates).unwrap();
+            let (model, dirty) = service.assemble_with_dirty().unwrap();
+            let dirty_set: BTreeSet<usize> = dirty.iter().copied().collect();
+            prop_assert_eq!(dirty.len(), dirty_set.len(), "dirty union must be deduplicated");
+            prop_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty union must be sorted");
+            prop_assert_eq!(&dirty_set, &expected);
+
+            // No ingest in between → nothing dirty, identical model served.
+            let (again, none_dirty) = service.assemble_with_dirty().unwrap();
+            prop_assert!(none_dirty.is_empty());
+            check_bit_identical(&model, &again);
+        }
+    }
+}
+
+/// Clean arms share their per-arm storage across epoch snapshots: after an
+/// epoch that dirtied only one arm, the assembled clone and its predecessor
+/// hold bit-identical statistics for every untouched arm.
+#[test]
+fn sparse_epochs_leave_clean_arm_statistics_untouched() {
+    let (d, a) = (3usize, 6usize);
+    let mut service = ModelService::spawn(LinUcbConfig::new(d, a), 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // Epoch 1: touch every arm so the baseline is warm.
+    let warm: Vec<CoalescedUpdate> = (0..a)
+        .map(|arm| {
+            CoalescedUpdate::new(random_context(d, &mut rng), Action::new(arm), 3, 2.0).unwrap()
+        })
+        .collect();
+    service.ingest(warm).unwrap();
+    let (before, dirty) = service.assemble_with_dirty().unwrap();
+    assert_eq!(dirty.len(), a);
+
+    // Epoch 2: one update into arm 2 only.
+    let sparse =
+        vec![CoalescedUpdate::new(random_context(d, &mut rng), Action::new(2), 1, 1.0).unwrap()];
+    service.ingest(sparse).unwrap();
+    let (after, dirty) = service.assemble_with_dirty().unwrap();
+    assert_eq!(dirty, vec![2]);
+
+    for arm in 0..a {
+        let action = Action::new(arm);
+        if arm == 2 {
+            assert_eq!(
+                after.pulls(action).unwrap(),
+                before.pulls(action).unwrap() + 1
+            );
+            continue;
+        }
+        assert_eq!(after.pulls(action).unwrap(), before.pulls(action).unwrap());
+        for (x, y) in after
+            .design(action)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(before.design(action).unwrap().as_slice().iter())
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "clean arm {arm} changed bits");
+        }
+    }
+    // And the incremental result still equals the from-scratch reference.
+    check_bit_identical(&after, &service.assemble_reference().unwrap());
+}

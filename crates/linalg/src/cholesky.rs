@@ -32,6 +32,86 @@ pub struct Cholesky {
     lower: Matrix,
 }
 
+/// Writes the lower-triangular Cholesky factor of `a` into the flat
+/// row-major buffer `lower` (`n·n` elements, lower triangle written, strict
+/// upper triangle untouched).
+///
+/// This is the allocation-free kernel behind [`Cholesky::new`]: both paths
+/// run the exact same arithmetic sequence, so a factor computed into a
+/// reused scratch buffer is bit-identical to a freshly allocated one. Stale
+/// upper-triangle contents in a reused buffer are harmless — every consumer
+/// ([`solve_in_place`]) reads only the diagonal and lower triangle.
+///
+/// # Errors
+///
+/// Same contract as [`Cholesky::new`]: [`LinalgError::NotSquare`],
+/// [`LinalgError::Empty`], [`LinalgError::NotPositiveDefinite`], plus
+/// [`LinalgError::DimensionMismatch`] if `lower` is not `n·n` long.
+pub(crate) fn factor_lower(a: &Matrix, lower: &mut [f64]) -> Result<(), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if lower.len() != n * n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: (n, n),
+            found: (lower.len(), 1),
+        });
+    }
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= lower[i * n + k] * lower[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                lower[i * n + j] = sum.sqrt();
+            } else {
+                lower[i * n + j] = sum / lower[j * n + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L Lᵀ x = b` in place: `out` holds `b` on entry and `x` on exit.
+///
+/// `l` is a flat row-major `n·n` lower-triangular factor as produced by
+/// [`factor_lower`]. The forward-substitution intermediate overwrites `out`
+/// progressively (position `i` of `b` is last read at step `i`), then the
+/// backward substitution runs in place — the exact arithmetic sequence of
+/// [`Cholesky::solve_into`], which delegates here.
+pub(crate) fn solve_in_place(l: &[f64], n: usize, out: &mut [f64]) {
+    debug_assert_eq!(l.len(), n * n);
+    debug_assert_eq!(out.len(), n);
+    // Forward substitution: L y = b, y written into `out`.
+    for i in 0..n {
+        let mut sum = out[i];
+        let row = &l[i * n..i * n + i];
+        for (lk, y_k) in row.iter().zip(out.iter()) {
+            sum -= lk * y_k;
+        }
+        out[i] = sum / l[i * n + i];
+    }
+    // Backward substitution: Lᵀ x = y, in place over `out`.
+    for i in (0..n).rev() {
+        let mut sum = out[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * out[k];
+        }
+        out[i] = sum / l[i * n + i];
+    }
+}
+
 impl Cholesky {
     /// Computes the factorization of a symmetric positive-definite matrix.
     ///
@@ -55,22 +135,7 @@ impl Cholesky {
             return Err(LinalgError::Empty);
         }
         let mut lower = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a.get(i, j);
-                for k in 0..j {
-                    sum -= lower.get(i, k) * lower.get(j, k);
-                }
-                if i == j {
-                    if sum <= 0.0 {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
-                    }
-                    lower.set(i, j, sum.sqrt());
-                } else {
-                    lower.set(i, j, sum / lower.get(j, j));
-                }
-            }
-        }
+        factor_lower(a, lower.as_mut_slice())?;
         Ok(Self { lower })
     }
 
@@ -122,24 +187,8 @@ impl Cholesky {
                 found: (out.len(), 1),
             });
         }
-        let l = self.lower.as_slice();
-        // Forward substitution: L y = b, y written into `out`.
-        for i in 0..n {
-            let mut sum = b[i];
-            let row = &l[i * n..i * n + i];
-            for (lk, y_k) in row.iter().zip(out.iter()) {
-                sum -= lk * y_k;
-            }
-            out[i] = sum / l[i * n + i];
-        }
-        // Backward substitution: Lᵀ x = y, in place over `out`.
-        for i in (0..n).rev() {
-            let mut sum = out[i];
-            for k in i + 1..n {
-                sum -= l[k * n + i] * out[k];
-            }
-            out[i] = sum / l[i * n + i];
-        }
+        out.copy_from_slice(b);
+        solve_in_place(self.lower.as_slice(), n, out);
         Ok(())
     }
 

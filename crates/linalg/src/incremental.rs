@@ -1,6 +1,58 @@
 //! Incrementally maintained matrix inverse via the Sherman–Morrison formula.
 
+use crate::cholesky::{factor_lower, solve_in_place};
 use crate::{Cholesky, LinalgError, Matrix, Vector};
+
+/// Caller-owned scratch buffers for the allocation-free update path.
+///
+/// One `UpdateScratch` serves any number of [`RankOneInverse`] trackers of
+/// any dimension (buffers re-size lazily and only grow). Threading it through
+/// [`RankOneInverse::update_with`] / [`RankOneInverse::update_weighted_with`]
+/// / [`RankOneInverse::update_batch_weighted_with`] makes the whole rank-k
+/// ingest fold — the `A⁻¹x` matvec, the outer-product fold, *and* the
+/// periodic exact refresh (Cholesky factor + basis solves) — allocation-free
+/// after the first call.
+///
+/// The buffers are pure scratch: their contents between calls are
+/// meaningless and never observed, so sharing one scratch across trackers
+/// cannot couple their results. Every `_with` path is bit-identical to its
+/// internally-buffered counterpart because both run the same kernel.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateScratch {
+    /// `A⁻¹x` lane for the Sherman–Morrison fold (`dim` elements).
+    ax: Vec<f64>,
+    /// Flat lower-triangular Cholesky factor for the exact refresh
+    /// (`dim²` elements; strict upper triangle may hold stale values,
+    /// which the solves never read).
+    chol: Vec<f64>,
+    /// Basis-solve column for the refresh inverse rebuild (`dim` elements).
+    col: Vec<f64>,
+}
+
+impl UpdateScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the fold lane holds exactly `dim` elements.
+    fn ensure_ax(&mut self, dim: usize) {
+        if self.ax.len() != dim {
+            self.ax.resize(dim, 0.0);
+        }
+    }
+
+    /// Ensures the refresh buffers match `dim` (factor `dim²`, column `dim`).
+    fn ensure_refresh(&mut self, dim: usize) {
+        if self.chol.len() != dim * dim {
+            self.chol.resize(dim * dim, 0.0);
+        }
+        if self.col.len() != dim {
+            self.col.resize(dim, 0.0);
+        }
+    }
+}
 
 /// Maintains `A⁻¹` for `A = λI + Σ xᵢ xᵢᵀ` under rank-1 updates.
 ///
@@ -40,13 +92,15 @@ pub struct RankOneInverse {
     refresh_interval: u64,
     /// Running design matrix `A`, kept to allow periodic exact refreshes.
     design: Matrix,
-    /// Reusable buffer for `A⁻¹x` so the per-round fold allocates nothing.
+    /// Internal scratch so the borrowing (`update` / `update_weighted`)
+    /// entry points allocate nothing per call. The `_with` variants use a
+    /// caller-owned [`UpdateScratch`] instead and leave this one untouched.
     /// Pure scratch: excluded from equality.
-    ax_scratch: Vec<f64>,
+    scratch: UpdateScratch,
 }
 
 /// Equality compares the tracked state only (inverse, design, counters);
-/// the scratch buffer is transient and intentionally ignored.
+/// the scratch buffers are transient and intentionally ignored.
 impl PartialEq for RankOneInverse {
     fn eq(&self, other: &Self) -> bool {
         self.inverse == other.inverse
@@ -59,6 +113,16 @@ impl PartialEq for RankOneInverse {
 
 /// Applies the Sherman–Morrison correction `M ← M − scale·(ax)(ax)ᵀ/denom`
 /// over the flat storage of `inverse`.
+///
+/// The flat row-major storage *is* the element-major fold layout (the
+/// write-side mirror of `ScoreArena`): coordinate `(i, j)` of the inverse
+/// lives at lane `i·n + j`, every lane's correction `axᵢ·axⱼ/denom` is
+/// independent of every other lane, and the inner loop walks `n` contiguous
+/// lanes with a single hoisted `axᵢ` — a pure streaming multiply-subtract
+/// chain the compiler can vectorize. The division stays inside the lane
+/// expression (not hoisted into a reciprocal) because the historical FP
+/// sequence divides per element, and bit-identical inverses are part of the
+/// contract.
 ///
 /// The `scale == 1.0` case uses the literal unscaled expression so the plain
 /// rank-1 update keeps the exact floating-point sequence it has always had.
@@ -109,7 +173,7 @@ impl RankOneInverse {
             regularizer,
             refresh_interval: Self::DEFAULT_REFRESH_INTERVAL,
             design: Matrix::identity(dim).scaled(regularizer),
-            ax_scratch: vec![0.0; dim],
+            scratch: UpdateScratch::new(),
         })
     }
 
@@ -126,7 +190,7 @@ impl RankOneInverse {
             regularizer: 1.0,
             refresh_interval: Self::DEFAULT_REFRESH_INTERVAL,
             design: a.clone(),
-            ax_scratch: vec![0.0; a.rows()],
+            scratch: UpdateScratch::new(),
         })
     }
 
@@ -204,23 +268,54 @@ impl RankOneInverse {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.dim()`.
     pub fn update(&mut self, x: &Vector) -> Result<(), LinalgError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.fold(x, 1.0, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Allocation-free variant of [`RankOneInverse::update`] using a
+    /// caller-owned [`UpdateScratch`]; bit-identical result (both paths run
+    /// the same kernel).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RankOneInverse::update`].
+    pub fn update_with(
+        &mut self,
+        x: &Vector,
+        scratch: &mut UpdateScratch,
+    ) -> Result<(), LinalgError> {
+        self.fold(x, 1.0, scratch)
+    }
+
+    /// The single weighted Sherman–Morrison fold kernel behind every update
+    /// entry point (internal-scratch and `_with` alike), so bit-identity
+    /// between the paths holds by construction.
+    ///
+    /// `weight == 1.0` reproduces the plain update exactly: `1.0 · xax`
+    /// is `xax` (multiplication by one is exact) and
+    /// [`sherman_morrison_step`] special-cases the unscaled expression.
+    fn fold(
+        &mut self,
+        x: &Vector,
+        weight: f64,
+        scratch: &mut UpdateScratch,
+    ) -> Result<(), LinalgError> {
         let dim = self.dim();
-        if self.ax_scratch.len() != dim {
-            self.ax_scratch.resize(dim, 0.0);
-        }
-        self.inverse
-            .matvec_into(x.as_slice(), &mut self.ax_scratch)?;
+        scratch.ensure_ax(dim);
+        self.inverse.matvec_into(x.as_slice(), &mut scratch.ax)?;
         let mut xax = 0.0;
-        for (a, b) in x.iter().zip(self.ax_scratch.iter()) {
+        for (a, b) in x.iter().zip(scratch.ax.iter()) {
             xax += a * b;
         }
-        let denom = 1.0 + xax;
-        // denom = 1 + x' A^{-1} x > 0 for SPD A, so this never divides by zero.
-        sherman_morrison_step(&mut self.inverse, &self.ax_scratch, 1.0, denom);
-        self.design.add_outer_product(x, 1.0)?;
+        let denom = 1.0 + weight * xax;
+        // denom = 1 + w·xᵀA⁻¹x > 0 for SPD A and w > 0: never a division by 0.
+        sherman_morrison_step(&mut self.inverse, &scratch.ax, weight, denom);
+        self.design.add_outer_product(x, weight)?;
         self.updates += 1;
         if self.updates % self.refresh_interval == 0 {
-            self.refresh()?;
+            self.refresh_with(scratch)?;
         }
         Ok(())
     }
@@ -252,28 +347,32 @@ impl RankOneInverse {
                 value: weight,
             });
         }
-        if weight == 1.0 {
-            return self.update(x);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.fold(x, weight, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Allocation-free variant of [`RankOneInverse::update_weighted`] using a
+    /// caller-owned [`UpdateScratch`]; bit-identical result (both paths run
+    /// the same kernel).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RankOneInverse::update_weighted`].
+    pub fn update_weighted_with(
+        &mut self,
+        x: &Vector,
+        weight: f64,
+        scratch: &mut UpdateScratch,
+    ) -> Result<(), LinalgError> {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(LinalgError::InvalidScalar {
+                name: "weight",
+                value: weight,
+            });
         }
-        let dim = self.dim();
-        if self.ax_scratch.len() != dim {
-            self.ax_scratch.resize(dim, 0.0);
-        }
-        self.inverse
-            .matvec_into(x.as_slice(), &mut self.ax_scratch)?;
-        let mut xax = 0.0;
-        for (a, b) in x.iter().zip(self.ax_scratch.iter()) {
-            xax += a * b;
-        }
-        let denom = 1.0 + weight * xax;
-        // denom = 1 + w·xᵀA⁻¹x > 0 for SPD A and w > 0: never a division by 0.
-        sherman_morrison_step(&mut self.inverse, &self.ax_scratch, weight, denom);
-        self.design.add_outer_product(x, weight)?;
-        self.updates += 1;
-        if self.updates % self.refresh_interval == 0 {
-            self.refresh()?;
-        }
-        Ok(())
+        self.fold(x, weight, scratch)
     }
 
     /// Applies a weighted rank-k update `A ← A + Σᵢ wᵢ·xᵢ xᵢᵀ` as a batch of
@@ -294,8 +393,29 @@ impl RankOneInverse {
     where
         I: IntoIterator<Item = (&'a Vector, f64)>,
     {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.update_batch_weighted_with(pairs, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Allocation-free variant of [`RankOneInverse::update_batch_weighted`]
+    /// using a caller-owned [`UpdateScratch`]; bit-identical result.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RankOneInverse::update_batch_weighted`]: the first
+    /// failing pair aborts the batch, earlier pairs stay applied.
+    pub fn update_batch_weighted_with<'a, I>(
+        &mut self,
+        pairs: I,
+        scratch: &mut UpdateScratch,
+    ) -> Result<(), LinalgError>
+    where
+        I: IntoIterator<Item = (&'a Vector, f64)>,
+    {
         for (x, weight) in pairs {
-            self.update_weighted(x, weight)?;
+            self.update_weighted_with(x, weight, scratch)?;
         }
         Ok(())
     }
@@ -307,8 +427,34 @@ impl RankOneInverse {
     /// Propagates factorization errors; the design matrix is SPD by
     /// construction so this only fails after severe numerical corruption.
     pub fn refresh(&mut self) -> Result<(), LinalgError> {
-        let chol = Cholesky::new(&self.design)?;
-        self.inverse = chol.inverse();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.refresh_with(&mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Allocation-free exact refresh: factors the design matrix into the
+    /// scratch buffer and solves the basis columns directly into the tracked
+    /// inverse, with the exact arithmetic of [`Cholesky::new`] followed by
+    /// [`Cholesky::inverse`] (both delegate to the same slice kernels), so
+    /// the recomputed inverse is bit-identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RankOneInverse::refresh`].
+    pub fn refresh_with(&mut self, scratch: &mut UpdateScratch) -> Result<(), LinalgError> {
+        let n = self.dim();
+        scratch.ensure_refresh(n);
+        factor_lower(&self.design, &mut scratch.chol)?;
+        let data = self.inverse.as_mut_slice();
+        for j in 0..n {
+            scratch.col.fill(0.0);
+            scratch.col[j] = 1.0;
+            solve_in_place(&scratch.chol, n, &mut scratch.col);
+            for (i, &value) in scratch.col.iter().enumerate() {
+                data[i * n + j] = value;
+            }
+        }
         Ok(())
     }
 
@@ -539,6 +685,77 @@ mod tests {
         }
         let direct = Cholesky::new(&a).unwrap().inverse();
         assert!(inc.inverse().max_abs_diff(&direct).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_paths_are_bit_identical_to_internal_paths() {
+        let pairs = [
+            (Vector::from(vec![1.0, 2.0, -0.5]), 3.0),
+            (Vector::from(vec![0.1, -0.3, 0.7]), 1.0),
+            (Vector::from(vec![2.0, 0.0, 1.0]), 12.5),
+            (Vector::from(vec![-1.0, 1.0, 1.0]), 1.0),
+        ];
+        let mut internal = RankOneInverse::identity(3, 2.0).unwrap();
+        let mut external = RankOneInverse::identity(3, 2.0).unwrap();
+        internal.set_refresh_interval(2);
+        external.set_refresh_interval(2);
+        let mut scratch = UpdateScratch::new();
+        for (x, w) in &pairs {
+            internal.update_weighted(x, *w).unwrap();
+            external.update_weighted_with(x, *w, &mut scratch).unwrap();
+            assert_eq!(internal, external, "states diverged at weight {w}");
+        }
+        // The plain update and the batch form, through the same scratch.
+        let x = Vector::from(vec![0.25, -0.75, 0.5]);
+        internal.update(&x).unwrap();
+        external.update_with(&x, &mut scratch).unwrap();
+        assert_eq!(internal, external);
+        internal
+            .update_batch_weighted(pairs.iter().map(|(x, w)| (x, *w)))
+            .unwrap();
+        external
+            .update_batch_weighted_with(pairs.iter().map(|(x, w)| (x, *w)), &mut scratch)
+            .unwrap();
+        assert_eq!(internal, external);
+    }
+
+    #[test]
+    fn refresh_with_matches_the_allocating_cholesky_inverse() {
+        let mut inc = RankOneInverse::identity(4, 1.5).unwrap();
+        let mut scratch = UpdateScratch::new();
+        for i in 0..6 {
+            let x = Vector::from(vec![i as f64, 1.0, -0.5 * i as f64, 0.25]);
+            inc.update_with(&x, &mut scratch).unwrap();
+        }
+        let direct = Cholesky::new(inc.design()).unwrap().inverse();
+        inc.refresh_with(&mut scratch).unwrap();
+        assert_eq!(
+            inc.inverse().as_slice(),
+            direct.as_slice(),
+            "scratch refresh must reproduce the allocating path bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn one_scratch_serves_trackers_of_different_dimensions() {
+        let mut small = RankOneInverse::identity(2, 1.0).unwrap();
+        let mut large = RankOneInverse::identity(5, 1.0).unwrap();
+        let mut scratch = UpdateScratch::new();
+        small
+            .update_with(&Vector::from(vec![1.0, -1.0]), &mut scratch)
+            .unwrap();
+        large
+            .update_with(&Vector::from(vec![1.0, 0.0, 2.0, -1.0, 0.5]), &mut scratch)
+            .unwrap();
+        small
+            .update_weighted_with(&Vector::from(vec![0.5, 0.25]), 3.0, &mut scratch)
+            .unwrap();
+        let mut reference = RankOneInverse::identity(2, 1.0).unwrap();
+        reference.update(&Vector::from(vec![1.0, -1.0])).unwrap();
+        reference
+            .update_weighted(&Vector::from(vec![0.5, 0.25]), 3.0)
+            .unwrap();
+        assert_eq!(small, reference);
     }
 
     #[test]
