@@ -1,26 +1,30 @@
 //! All-in-one reproduction of the paper's utility-vs-privacy results
 //! (Figures 4–7): the scenario matrix of `p2b_experiments` crossed over
-//! every workload, all four privacy regimes (non-private / LDP / P2B
-//! shuffle / central-DP tree aggregation) and every policy, emitted as
-//! JSON + CSV under `target/experiments/`, plus an `accounting.json`
-//! artifact comparing the shuffle ledger's pure-composition ε against the
-//! ρ-zCDP-accounted ε at horizon T = 10⁴.
+//! every workload, all five privacy regimes (non-private / LDP / P2B
+//! shuffle / central-DP tree aggregation / secure aggregation) and every
+//! policy, emitted as JSON + CSV under `target/experiments/`, plus an
+//! `accounting.json` artifact comparing the shuffle ledger's
+//! pure-composition ε against the ρ-zCDP-accounted ε at horizon T = 10⁴.
 //!
 //! Flags:
 //!
 //! * `--smoke` — tiny rounds/users for CI; also *enforces* the paper's
 //!   headline ordering (P2B ≥ randomized response on the synthetic
 //!   benchmark), the presence of per-cell (ε, δ) — central-DP included —
-//!   and the strict zCDP tightening at T = 10⁴, exiting non-zero on
-//!   violation so the harness cannot silently rot.
+//!   the absence of a claimed (ε, δ) on secure-aggregation cells (a trust
+//!   split is not a DP guarantee), and the strict zCDP tightening at
+//!   T = 10⁴. Each failure class exits with its own nonzero code (see
+//!   [`BenchFailure::exit_code`]) and a one-line diagnostic, so the CI
+//!   harness can tell a broken invariant from a broken environment.
 //! * `--seed <n>` — base seed (default 2026).
 
-use p2b_bench::experiments_dir;
+use p2b_bench::{experiments_dir, BenchFailure};
 use p2b_experiments::{
     run_matrix, run_streaming_shuffle, write_matrix_csv, write_matrix_json, MatrixConfig,
     MatrixResult, PolicyKind, PrivacyRegime, ScenarioKind, CENTRAL_TARGET_DELTA,
 };
 use p2b_privacy::CompositionComparison;
+use std::process::ExitCode;
 
 /// Horizon of the pure-vs-zCDP shuffle-ledger comparison in the accounting
 /// artifact: 10⁴ reporting opportunities, the scale at which zCDP's O(√k)
@@ -48,17 +52,29 @@ struct AccountingArtifact {
     central_dp_target_delta: f64,
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let seed = match args.iter().position(|a| a == "--seed") {
-        Some(i) => args
-            .get(i + 1)
-            .ok_or("--seed requires a value")?
-            .parse::<u64>()?,
+        Some(i) => {
+            let raw = match args.get(i + 1) {
+                Some(raw) => raw,
+                None => return BenchFailure::Usage("--seed requires a value".into()).report("figures"),
+            };
+            match raw.parse::<u64>() {
+                Ok(seed) => seed,
+                Err(e) => return BenchFailure::Usage(format!("--seed: {e}")).report("figures"),
+            }
+        }
         None => 2026,
     };
+    match run(smoke, seed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failure) => failure.report("figures"),
+    }
+}
 
+fn run(smoke: bool, seed: u64) -> Result<(), BenchFailure> {
     let config = if smoke {
         MatrixConfig::smoke()
     } else {
@@ -80,7 +96,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.interactions_per_user,
     );
 
-    let result = run_matrix(&config)?;
+    let result =
+        run_matrix(&config).map_err(|e| BenchFailure::Runtime(format!("scenario matrix: {e}")))?;
     for &scenario in &config.scenarios {
         print_scenario_table(&config, &result, scenario);
     }
@@ -88,7 +105,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Serving-scale cross-check of the shuffled regime: the same pipeline
     // driven through p2b_sim::run_streaming_population (parallel producers
     // into the sharded engine of a full P2bSystem).
-    let streaming = run_streaming_shuffle(&config, 4, seed ^ 0x5EED)?;
+    let streaming = run_streaming_shuffle(&config, 4, seed ^ 0x5EED)
+        .map_err(|e| BenchFailure::Runtime(format!("streaming cross-check: {e}")))?;
     let received: u64 = streaming
         .round_stats
         .iter()
@@ -104,14 +122,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         streaming.ledger.per_report_epsilon(),
     );
     if received != streaming.submitted {
-        return Err("streaming engine lost reports".into());
+        return Err(BenchFailure::InvariantViolation(format!(
+            "streaming engine lost reports ({} submitted, {received} received)",
+            streaming.submitted
+        )));
     }
 
     let dir = experiments_dir();
     let json_path = dir.join("figures.json");
     let csv_path = dir.join("figures.csv");
-    write_matrix_json(&json_path, &result)?;
-    write_matrix_csv(&csv_path, &result)?;
+    write_matrix_json(&json_path, &result)
+        .map_err(|e| BenchFailure::Io(format!("{}: {e}", json_path.display())))?;
+    write_matrix_csv(&csv_path, &result)
+        .map_err(|e| BenchFailure::Io(format!("{}: {e}", csv_path.display())))?;
     let csv_rows: usize = result.cells.iter().map(|c| c.series.len()).sum();
     println!(
         "\nresults written to {} and {} ({csv_rows} CSV rows)",
@@ -124,8 +147,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // central-DP cells' quoted stream ε values.
     let comparison = streaming
         .ledger
-        .zcdp_composed_over(ACCOUNTING_HORIZON, 1e-6)?
-        .ok_or("streaming ledger recorded no non-empty batch")?;
+        .zcdp_composed_over(ACCOUNTING_HORIZON, 1e-6)
+        .map_err(|e| BenchFailure::Runtime(format!("zCDP composition: {e}")))?
+        .ok_or_else(|| {
+            BenchFailure::InvariantViolation(
+                "streaming ledger recorded no non-empty batch".to_owned(),
+            )
+        })?;
     let central_dp_epsilon: Vec<CentralEpsilon> = result
         .cells
         .iter()
@@ -143,13 +171,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         central_dp_target_delta: CENTRAL_TARGET_DELTA,
     };
     let accounting_path = dir.join("accounting.json");
-    std::fs::write(&accounting_path, serde_json::to_string_pretty(&artifact)?)?;
+    let accounting_json = serde_json::to_string_pretty(&artifact)
+        .map_err(|e| BenchFailure::Runtime(format!("accounting artifact: {e}")))?;
+    std::fs::write(&accounting_path, accounting_json)
+        .map_err(|e| BenchFailure::Io(format!("{}: {e}", accounting_path.display())))?;
     println!(
         "accounting artifact written to {}: horizon {} pure eps = {:.1}, zCDP eps = {:.1}",
         accounting_path.display(),
         ACCOUNTING_HORIZON,
-        comparison.pure_epsilon,
-        comparison.zcdp_epsilon,
+        artifact.shuffle_ledger.pure_epsilon,
+        artifact.shuffle_ledger.zcdp_epsilon,
     );
 
     if smoke {
@@ -158,6 +189,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "smoke invariants hold: P2B >= randomized response on the synthetic scenario; \
              every private cell (central-DP included) reports (eps, delta); \
+             secure-agg cells claim no guarantee; \
              zCDP eps {:.1} < pure eps {:.1} at horizon {}",
             artifact.shuffle_ledger.zcdp_epsilon,
             artifact.shuffle_ledger.pure_epsilon,
@@ -170,27 +202,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// The zCDP acceptance invariant: at horizon 10⁴ the zCDP-accounted shuffle
 /// ledger must be *strictly* tighter than pure sequential composition, and
 /// every central-DP cell must quote a finite positive ε.
-fn enforce_accounting_invariants(
-    artifact: &AccountingArtifact,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn enforce_accounting_invariants(artifact: &AccountingArtifact) -> Result<(), BenchFailure> {
     let cmp = &artifact.shuffle_ledger;
     if cmp.zcdp_epsilon >= cmp.pure_epsilon {
-        return Err(format!(
+        return Err(BenchFailure::InvariantViolation(format!(
             "zCDP accounting must be strictly tighter at horizon {}: zCDP {:.3} vs pure {:.3}",
             cmp.horizon, cmp.zcdp_epsilon, cmp.pure_epsilon
-        )
-        .into());
+        )));
     }
     if artifact.central_dp_epsilon.is_empty() {
-        return Err("no central-DP cell reported an epsilon".into());
+        return Err(BenchFailure::InvariantViolation(
+            "no central-DP cell reported an epsilon".to_owned(),
+        ));
     }
     for entry in &artifact.central_dp_epsilon {
         if !entry.epsilon.is_finite() || entry.epsilon <= 0.0 {
-            return Err(format!(
+            return Err(BenchFailure::InvariantViolation(format!(
                 "central-DP cell {} quotes a degenerate eps {}",
                 entry.cell, entry.epsilon
-            )
-            .into());
+            )));
         }
     }
     Ok(())
@@ -242,29 +272,41 @@ fn print_scenario_table(config: &MatrixConfig, result: &MatrixResult, scenario: 
 }
 
 /// The acceptance invariants of the smoke run: the paper's qualitative
-/// ordering on the synthetic benchmark and complete privacy accounting.
-fn enforce_headline_invariants(result: &MatrixResult) -> Result<(), Box<dyn std::error::Error>> {
+/// ordering on the synthetic benchmark and complete — but never
+/// overclaimed — privacy accounting.
+fn enforce_headline_invariants(result: &MatrixResult) -> Result<(), BenchFailure> {
     let cell = |regime| {
         result
             .cell(ScenarioKind::SyntheticGaussian, regime, PolicyKind::LinUcb)
-            .ok_or("smoke matrix must include the synthetic LinUCB cells")
+            .ok_or_else(|| {
+                BenchFailure::InvariantViolation(
+                    "smoke matrix must include the synthetic LinUCB cells".to_owned(),
+                )
+            })
     };
     let ldp = cell(PrivacyRegime::LocalDp)?;
     let p2b = cell(PrivacyRegime::P2bShuffle)?;
     if p2b.final_cumulative_reward < ldp.final_cumulative_reward {
-        return Err(format!(
+        return Err(BenchFailure::InvariantViolation(format!(
             "headline violated: P2B cumulative reward {:.2} < randomized response {:.2}",
             p2b.final_cumulative_reward, ldp.final_cumulative_reward
-        )
-        .into());
+        )));
     }
     for cell in &result.cells {
         if cell.spec.regime.is_private() && (cell.epsilon.is_none() || cell.delta.is_none()) {
-            return Err(format!(
+            return Err(BenchFailure::InvariantViolation(format!(
                 "cell {}/{}/{} is private but missing its (eps, delta) record",
                 cell.spec.scenario, cell.spec.regime, cell.spec.policy
-            )
-            .into());
+            )));
+        }
+        // The converse overclaim: a regime without a DP guarantee (the
+        // non-private ceiling, the secure-aggregation trust split) must
+        // never publish one.
+        if !cell.spec.regime.is_private() && (cell.epsilon.is_some() || cell.delta.is_some()) {
+            return Err(BenchFailure::InvariantViolation(format!(
+                "cell {}/{}/{} claims an (eps, delta) but its regime offers no DP guarantee",
+                cell.spec.scenario, cell.spec.regime, cell.spec.policy
+            )));
         }
     }
     Ok(())

@@ -27,7 +27,7 @@ use p2b_bench::serve::{
     print_full_report, run_full, run_ingest_mode, run_pool_mode, run_select_mode, ServeConfig,
     ServeMode, SloConfig,
 };
-use p2b_bench::Scale;
+use p2b_bench::{BenchFailure, Scale};
 use std::process::ExitCode;
 
 struct Cli {
@@ -115,10 +115,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
-        Err(message) => {
-            eprintln!("p2b-serve: {message}");
-            return ExitCode::FAILURE;
-        }
+        Err(message) => return BenchFailure::Usage(message).report("p2b-serve"),
     };
 
     let scale = if cli.quick {
@@ -131,10 +128,10 @@ fn main() -> ExitCode {
             run_select_mode(scale);
             ExitCode::SUCCESS
         }
-        ServeMode::Ingest => {
-            run_ingest_mode(scale);
-            ExitCode::SUCCESS
-        }
+        ServeMode::Ingest => match run_ingest_mode(scale) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(failure) => failure.report("p2b-serve"),
+        },
         ServeMode::Pool => {
             run_pool_mode(scale);
             ExitCode::SUCCESS
@@ -168,8 +165,7 @@ fn main() -> ExitCode {
 
             let json = serde_json::to_string_pretty(&report).expect("reports serialize");
             if let Err(error) = std::fs::write(&cli.out_path, json) {
-                eprintln!("p2b-serve: cannot write {}: {error}", cli.out_path);
-                return ExitCode::FAILURE;
+                return BenchFailure::Io(format!("{}: {error}", cli.out_path)).report("p2b-serve");
             }
             println!("machine-readable results written to {}", cli.out_path);
 
@@ -177,8 +173,7 @@ fn main() -> ExitCode {
                 let redacted =
                     serde_json::to_string_pretty(&report.redacted()).expect("reports serialize");
                 if let Err(error) = std::fs::write(path, redacted) {
-                    eprintln!("p2b-serve: cannot write {path}: {error}");
-                    return ExitCode::FAILURE;
+                    return BenchFailure::Io(format!("{path}: {error}")).report("p2b-serve");
                 }
                 println!("deterministic summary written to {path}");
             }
@@ -186,8 +181,11 @@ fn main() -> ExitCode {
             if report.slo.pass {
                 ExitCode::SUCCESS
             } else {
-                eprintln!("p2b-serve: SLO violations detected");
-                ExitCode::FAILURE
+                BenchFailure::SloViolation(format!(
+                    "{} of the serve SLO bars failed (see table above)",
+                    report.slo.violations.len()
+                ))
+                .report("p2b-serve")
             }
         }
     }

@@ -18,8 +18,9 @@
 
 use p2b_bench::serve::{legacy_throughput_modes, run_ingest_mode, run_pool_mode, run_select_mode};
 use p2b_bench::{Scale, ServeMode};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     eprintln!(
         "note: `throughput` is deprecated; use `p2b-serve --mode \
          ingest|pool|select|full` (same artifacts, plus the closed loop)"
@@ -28,10 +29,15 @@ fn main() {
     let scale = Scale::from_env();
     for mode in legacy_throughput_modes(&args) {
         match mode {
-            ServeMode::Ingest => run_ingest_mode(scale),
+            ServeMode::Ingest => {
+                if let Err(failure) = run_ingest_mode(scale) {
+                    return failure.report("throughput");
+                }
+            }
             ServeMode::Pool => run_pool_mode(scale),
             ServeMode::Select => run_select_mode(scale),
             ServeMode::Full => unreachable!("the legacy mapping never yields Full"),
         }
     }
+    ExitCode::SUCCESS
 }

@@ -14,9 +14,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod failure;
 pub mod histogram;
 pub mod serve;
 
+pub use failure::BenchFailure;
 pub use histogram::{bucket_lower_bound, bucket_of, LatencyHistogram, LatencySummary};
 pub use serve::{
     legacy_throughput_modes, DeterministicSummary, ServeConfig, ServeMode, ServeReport, SloConfig,

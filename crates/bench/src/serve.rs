@@ -52,6 +52,7 @@
 //! re-based onto the same arrival process so every subsystem is benchmarked
 //! on identical skewed traffic.
 
+use crate::failure::BenchFailure;
 use crate::histogram::{LatencyHistogram, LatencySummary};
 use crate::Scale;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -61,7 +62,7 @@ use p2b_bandit::{
 };
 use p2b_core::{
     AgentPool, AgentPoolConfig, AgentSource, CentralServer, ModelService, P2bConfig, P2bSystem,
-    PoolStats, RewardJoinBuffer,
+    PoolStats, RewardJoinBuffer, SecureIngestService,
 };
 use p2b_encoding::{Encoder, KMeansConfig, KMeansEncoder};
 use p2b_linalg::Vector;
@@ -1402,9 +1403,21 @@ fn time_assemble_path(
     (wall, model_digest(&model))
 }
 
-/// Legacy part 1 + 2: shuffler-engine shard scaling and sequential vs
-/// coalesced central-model ingest, written to `BENCH_ingest.json`.
-pub fn run_ingest_mode(scale: Scale) {
+/// The ingest-side benchmark suite: shuffler-engine shard scaling,
+/// sequential vs coalesced central-model ingest, the model update path,
+/// epoch assembly, and the secure-aggregation share pipeline, written to
+/// `BENCH_ingest.json` / `BENCH_ingest_summary.json`.
+///
+/// # Errors
+///
+/// Returns [`BenchFailure::InvariantViolation`] when a determinism digest
+/// diverges across shard counts or code paths,
+/// [`BenchFailure::SloViolation`] when the update fast path regresses below
+/// its speedup floor, [`BenchFailure::Runtime`] when a pipeline under
+/// measurement fails outright, and [`BenchFailure::Io`] when an artifact
+/// cannot be written — each mapped to a distinct exit code by the
+/// `p2b-serve` binary.
+pub fn run_ingest_mode(scale: Scale) -> Result<(), BenchFailure> {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -1515,10 +1528,12 @@ pub fn run_ingest_mode(scale: Scale) {
             // Shard-count invariance: the dirty-arm merge is deterministic,
             // so every coalesced shard count must land on the same model.
             let expected = *coalesced_digest.get_or_insert(digest);
-            assert_eq!(
-                digest, expected,
-                "coalesced ingest diverged across shard counts (shards = {shards})"
-            );
+            if digest != expected {
+                return Err(BenchFailure::InvariantViolation(format!(
+                    "coalesced ingest diverged across shard counts \
+                     (shards = {shards}: {digest:016x} != {expected:016x})"
+                )));
+            }
         }
         digest_records.push(IngestDigestRecord {
             stage: "ingest".to_owned(),
@@ -1596,10 +1611,12 @@ pub fn run_ingest_mode(scale: Scale) {
             time_update_path(dimension, actions, &batches, Some(&mut scratch));
         // The scratch path defers the arena sync but must land on the exact
         // model bits of the reference path.
-        assert_eq!(
-            ref_digest, scratch_digest,
-            "scratch update path diverged from the reference (d={dimension}, a={actions})"
-        );
+        if ref_digest != scratch_digest {
+            return Err(BenchFailure::InvariantViolation(format!(
+                "scratch update path diverged from the reference \
+                 (d={dimension}, a={actions}: {scratch_digest:016x} != {ref_digest:016x})"
+            )));
+        }
         let updates = update_batch_len * update_batch_count;
         for (path, wall) in [("reference", ref_wall), ("scratch", scratch_wall)] {
             let speedup = ref_wall / wall;
@@ -1643,10 +1660,12 @@ pub fn run_ingest_mode(scale: Scale) {
     // The speedup bar CI's smoke job enforces. Deferring the theta solve
     // and the strided arena scatter to once per touched arm per batch
     // clears this with margin at the wide shape on any hardware.
-    assert!(
-        best_update >= 2.0,
-        "update fast path regressed below the 2x floor over the reference path"
-    );
+    if best_update < 2.0 {
+        return Err(BenchFailure::SloViolation(format!(
+            "update fast path regressed below the 2x floor over the reference \
+             path (best {best_update:.2}x)"
+        )));
+    }
 
     // ── Part 4: epoch assembly (from-scratch rebuild vs dirty-arm merge) ─
     let assemble_epochs = scale.pick(512, 2_048, 8_192);
@@ -1675,10 +1694,12 @@ pub fn run_ingest_mode(scale: Scale) {
         let (inc_wall, inc_digest) =
             time_assemble_path(DIMENSION, assemble_actions, shards, assemble_epochs, true);
         // Incremental assembly must serve the exact bits of the rebuild.
-        assert_eq!(
-            ref_digest, inc_digest,
-            "incremental assembly diverged from the from-scratch rebuild (shards = {shards})"
-        );
+        if ref_digest != inc_digest {
+            return Err(BenchFailure::InvariantViolation(format!(
+                "incremental assembly diverged from the from-scratch rebuild \
+                 (shards = {shards}: {inc_digest:016x} != {ref_digest:016x})"
+            )));
+        }
         for (path, wall) in [("from_scratch", ref_wall), ("incremental", inc_wall)] {
             let speedup = ref_wall / wall;
             println!(
@@ -1718,6 +1739,105 @@ pub fn run_ingest_mode(scale: Scale) {
          {best_assemble:.2}x"
     );
 
+    // ── Part 5: secure-aggregation ingest (split → shard-fold → recombine) ─
+    // The same coalesced traffic replayed through the fixed-point additive
+    // share pipeline at k ∈ {1, 2, 4} aggregator shards. Shares over the
+    // wrapping-i128 group recombine exactly, so the cumulative-sum digest
+    // and the republished model must be bit-identical at every shard count
+    // — even though each run here gets a *different* mask seed.
+    let secure_batch_len = scale.pick(128, 512, 2_048);
+    let secure_batch_count = scale.pick(8, 16, 32);
+    let secure_batches = update_batches(
+        DIMENSION,
+        ACTIONS,
+        secure_batch_len,
+        secure_batch_count,
+        0xB10C_5EED,
+    );
+    let secure_reports = secure_batch_len * secure_batch_count;
+    println!("\nSecure-aggregation ingest: additive share split/recombine per shard count");
+    println!(
+        "{secure_reports} coalesced contributions in {secure_batch_count} flush epochs \
+         of {secure_batch_len}, d = {DIMENSION}, {ACTIONS} actions"
+    );
+    println!(
+        "\n{:>7} {:>10} {:>14} {:>9} {:>18}",
+        "shards", "wall (ms)", "reports/s", "speedup", "digest"
+    );
+    let secure_config = LinUcbConfig::new(DIMENSION, ACTIONS);
+    let mut secure_baseline = None;
+    let mut secure_expected: Option<(u64, u64)> = None;
+    for shards in [1usize, 2, 4] {
+        // The mask seed deliberately varies with the shard count: recombined
+        // sums are group elements, never a function of seed or shard count.
+        let seed = 0x5EC0_A660_0000_0000 ^ shards as u64;
+        let secure_err =
+            |e: p2b_core::CoreError| BenchFailure::Runtime(format!("secure-agg ingest: {e}"));
+        // Warm-up on a throwaway service so spawn/allocator effects do not
+        // favor the later shard counts.
+        {
+            let mut warm =
+                SecureIngestService::new(secure_config, shards, seed ^ 0xFF).map_err(secure_err)?;
+            warm.ingest_batch(&secure_batches[0]).map_err(secure_err)?;
+            let _ = warm.assemble().map_err(secure_err)?;
+        }
+        let mut service =
+            SecureIngestService::new(secure_config, shards, seed).map_err(secure_err)?;
+        let start = Instant::now();
+        let mut model = None;
+        for batch in &secure_batches {
+            service.ingest_batch(batch).map_err(secure_err)?;
+            // Assemble per batch: each flush closes a share epoch and
+            // republishes from the recombined cumulative sums.
+            model = Some(service.assemble().map_err(secure_err)?);
+        }
+        let wall_secs = start.elapsed().as_secs_f64();
+        let digest = service.digest();
+        let model = model.ok_or_else(|| {
+            BenchFailure::Runtime("secure-agg ingest produced no model".to_owned())
+        })?;
+        let published = model_digest(&model);
+        let (expected_totals, expected_model) = *secure_expected.get_or_insert((digest, published));
+        if digest != expected_totals || published != expected_model {
+            return Err(BenchFailure::InvariantViolation(format!(
+                "secure-agg recombination diverged across shard counts (shards = {shards}: \
+                 totals {digest:016x} != {expected_totals:016x}, \
+                 model {published:016x} != {expected_model:016x})"
+            )));
+        }
+        let rate = secure_reports as f64 / wall_secs;
+        let baseline_rate = *secure_baseline.get_or_insert(rate);
+        let speedup = rate / baseline_rate;
+        println!(
+            "{:>7} {:>10.1} {:>14.0} {:>8.2}x {:>18}",
+            shards,
+            wall_secs * 1e3,
+            rate,
+            speedup,
+            format!("{digest:016x}")
+        );
+        records.push(BenchRecord {
+            stage: "secure_agg".to_owned(),
+            mode: "recombined".to_owned(),
+            shards,
+            dimension: DIMENSION,
+            actions: ACTIONS,
+            batch_size: secure_batch_len,
+            reports: secure_reports,
+            batches: secure_batch_count,
+            wall_secs,
+            reports_per_sec: rate,
+            speedup,
+        });
+        digest_records.push(IngestDigestRecord {
+            stage: "secure_agg".to_owned(),
+            mode: "recombined".to_owned(),
+            shards,
+            digest: format!("{digest:016x}"),
+        });
+    }
+    println!("\nsecure-agg recombined digests identical across shard counts {{1, 2, 4}}");
+
     let output = BenchOutput {
         scale: format!("{scale:?}").to_lowercase(),
         hardware_threads: cores,
@@ -1727,7 +1847,8 @@ pub fn run_ingest_mode(scale: Scale) {
         records,
     };
     let json = serde_json::to_string_pretty(&output).expect("records serialize");
-    std::fs::write("BENCH_ingest.json", json).expect("benchmark artifact is writable");
+    std::fs::write("BENCH_ingest.json", json)
+        .map_err(|e| BenchFailure::Io(format!("BENCH_ingest.json: {e}")))?;
     println!("machine-readable results written to BENCH_ingest.json");
 
     let summary = IngestSummary {
@@ -1739,8 +1860,10 @@ pub fn run_ingest_mode(scale: Scale) {
         records: digest_records,
     };
     let json = serde_json::to_string_pretty(&summary).expect("records serialize");
-    std::fs::write("BENCH_ingest_summary.json", json).expect("benchmark artifact is writable");
+    std::fs::write("BENCH_ingest_summary.json", json)
+        .map_err(|e| BenchFailure::Io(format!("BENCH_ingest_summary.json: {e}")))?;
     println!("deterministic model digests written to BENCH_ingest_summary.json");
+    Ok(())
 }
 
 /// One measured pool configuration, serialized into `BENCH_pool.json`.

@@ -29,6 +29,12 @@
 //!   the coalescing ingester ([`P2bSystem::ingest_engine_batch`]). This is
 //!   the serving-scale path.
 //!
+//! A third, trust-minimized path is the secure-aggregation ingest
+//! ([`SecureIngestService`]): coalesced sufficient statistics are
+//! fixed-point encoded and additively secret-shared across `k` aggregator
+//! shards, and the central side only ever sees the recombined per-arm sums
+//! it assembles epoch models from.
+//!
 //! # Example
 //!
 //! ```
@@ -72,6 +78,7 @@ mod error;
 mod join;
 mod pool;
 mod reporter;
+mod secure;
 mod server;
 mod service;
 mod system;
@@ -84,6 +91,7 @@ pub use join::{
 };
 pub use pool::{AgentPool, AgentPoolConfig, AgentSource, PoolStats};
 pub use reporter::{PendingReport, RandomizedReporter};
+pub use secure::SecureIngestService;
 pub use server::CentralServer;
 pub use service::{ModelService, ModelSnapshot};
 pub use system::{P2bSystem, RoundStats};

@@ -30,6 +30,14 @@
 //!   (Gaussian noise on O(log T) dyadic partial sums — the classic
 //!   PrivateLinUCB baseline). Privacy cost is accounted in ρ-zCDP by a
 //!   [`p2b_privacy::ZcdpAccountant`].
+//! * **secure aggregation (additive shares)** — the device turns its report
+//!   into a LinUCB sufficient-statistic leaf, fixed-point encodes it and
+//!   additively secret-shares it across [`SECURE_AGG_SHARDS`] aggregator
+//!   shards ([`p2b_core::SecureIngestService`]); the published model is
+//!   rebuilt from the *recombined* per-arm sums only. No single aggregator
+//!   sees a contribution in the clear, and no noise is added — utility is
+//!   the non-private ceiling up to fixed-point quantization, with a trust
+//!   split instead of a DP guarantee (the cell reports no (ε, δ)).
 //!
 //! Selection always uses the device's true context — what is privatized is
 //! what reaches the central model, exactly as in the paper's architecture.
@@ -38,8 +46,8 @@ use crate::{
     AnyPolicy, ExperimentError, PolicyKind, PrivacyRegime, ScenarioData, ScenarioKind,
     ScenarioShape,
 };
-use p2b_bandit::{Action, ArmStatistics, LinUcb, LinUcbConfig};
-use p2b_core::{DecisionTicket, RewardJoinBuffer};
+use p2b_bandit::{Action, ArmStatistics, CoalescedUpdate, LinUcb, LinUcbConfig};
+use p2b_core::{DecisionTicket, RewardJoinBuffer, SecureIngestService};
 use p2b_encoding::{ContextCode, Encoder, KMeansConfig, KMeansEncoder};
 use p2b_linalg::{Matrix, Vector};
 use p2b_privacy::{
@@ -72,6 +80,17 @@ pub const CENTRAL_TARGET_DELTA: f64 = 1e-6;
 /// `[vec(x xᵀ), r·x, 1]` with the context clipped to the unit ball and the
 /// reward in `[0, 1]` has norm at most `√(‖x‖⁴ + r²‖x‖² + 1) ≤ √3`.
 pub const CENTRAL_LEAF_SENSITIVITY: f64 = 1.732_050_807_568_877_2;
+
+/// Aggregator shard count `k` of the secure-aggregation regime's in-cell
+/// [`p2b_core::SecureIngestService`].
+///
+/// A documented constant rather than a [`MatrixConfig`] field for the same
+/// schema-freeze reason as [`CENTRAL_SIGMA`]. The value is immaterial to the
+/// results: recombined share sums are exact wrapping-`i128` group elements,
+/// so cell output is bit-identical at any `k` (the secure-agg golden pins
+/// `k = 2` against the checked-in files, and the bench ingest stage asserts
+/// digest equality across `k ∈ {1, 2, 4}` on every run).
+pub const SECURE_AGG_SHARDS: usize = 2;
 
 /// Configuration of one matrix run: the three axes plus the shared workload,
 /// privacy and accounting knobs.
@@ -206,11 +225,15 @@ impl MatrixConfig {
     }
 
     /// Whether a (regime, policy) combination is runnable: the central-DP
-    /// curator releases *LinUCB sufficient statistics*, so it only serves
-    /// [`PolicyKind::LinUcb`]; every other regime is policy-agnostic.
+    /// curator and the secure-aggregation service both traffic in *LinUCB
+    /// sufficient statistics*, so they only serve [`PolicyKind::LinUcb`];
+    /// every other regime is policy-agnostic.
     #[must_use]
     pub fn cell_supported(regime: PrivacyRegime, policy: PolicyKind) -> bool {
-        regime != PrivacyRegime::CentralDp || policy == PolicyKind::LinUcb
+        !matches!(
+            regime,
+            PrivacyRegime::CentralDp | PrivacyRegime::SecureAgg
+        ) || policy == PolicyKind::LinUcb
     }
 
     /// Total number of cells the matrix will run (unsupported
@@ -292,6 +315,16 @@ impl MatrixConfig {
                 parameter: "regimes/policies",
                 message: "the central-DP regime releases LinUCB sufficient statistics and needs \
                           PolicyKind::LinUcb on the policy axis"
+                    .to_owned(),
+            });
+        }
+        if self.regimes.contains(&PrivacyRegime::SecureAgg)
+            && !self.policies.contains(&PolicyKind::LinUcb)
+        {
+            return Err(ExperimentError::InvalidConfig {
+                parameter: "regimes/policies",
+                message: "the secure-aggregation regime aggregates LinUCB sufficient statistics \
+                          and needs PolicyKind::LinUcb on the policy axis"
                     .to_owned(),
             });
         }
@@ -530,6 +563,27 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
         _ => None,
     };
     let mut curator_pending = 0usize;
+    let mut secure = match spec.regime {
+        PrivacyRegime::SecureAgg => {
+            if spec.policy != PolicyKind::LinUcb {
+                return Err(ExperimentError::InvalidConfig {
+                    parameter: "policy",
+                    message: format!(
+                        "the secure-aggregation regime only serves LinUCB sufficient statistics, \
+                         got {}",
+                        spec.policy
+                    ),
+                });
+            }
+            Some(SecureIngestService::new(
+                LinUcbConfig::new(dimension, num_actions).with_alpha(config.alpha),
+                SECURE_AGG_SHARDS,
+                spec.seed,
+            )?)
+        }
+        _ => None,
+    };
+    let mut secure_pending = 0usize;
     let participation = Participation::new(config.participation)?;
     let mut ledger = AmplificationLedger::new(participation, config.delta_omega)?;
 
@@ -629,6 +683,17 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
                     curator_pending += 1;
                     shared_reports += 1;
                 }
+                PrivacyRegime::SecureAgg => {
+                    let service = secure.as_mut().expect("SecureAgg builds a service");
+                    // One report is a coalesced group of count 1; the
+                    // service clips the context and clamps the reward
+                    // exactly as the central-DP curator does.
+                    let update =
+                        CoalescedUpdate::new(context, action, 1, reward.clamp(0.0, 1.0))?;
+                    service.ingest(&update)?;
+                    secure_pending += 1;
+                    shared_reports += 1;
+                }
             }
         }
 
@@ -637,6 +702,12 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
             let curator = curator.as_ref().expect("CentralDp builds a curator");
             central = AnyPolicy::LinUcb(curator.publish()?);
             curator_pending = 0;
+        }
+
+        if spec.regime == PrivacyRegime::SecureAgg && secure_pending >= config.flush_every_reports {
+            let service = secure.as_mut().expect("SecureAgg builds a service");
+            central = AnyPolicy::LinUcb(service.assemble()?);
+            secure_pending = 0;
         }
 
         if spec.regime == PrivacyRegime::P2bShuffle && pending.len() >= config.flush_every_reports {
@@ -678,6 +749,8 @@ pub fn run_cell(config: &MatrixConfig, spec: CellSpec) -> Result<CellResult, Exp
             let curator = curator.as_ref().expect("CentralDp builds a curator");
             (Some(curator.epsilon()?), Some(CENTRAL_TARGET_DELTA))
         }
+        // A trust split, not a DP mechanism: there is no (ε, δ) to report.
+        PrivacyRegime::SecureAgg => (None, None),
     };
     let batch_guarantees = ledger
         .records()
@@ -1142,6 +1215,87 @@ mod tests {
             .with_policies(vec![PolicyKind::LinUcb, PolicyKind::Ucb1])
             .with_seed(3);
         // NonPrivate × {LinUcb, Ucb1} + CentralDp × {LinUcb} = 3 cells.
+        assert_eq!(mixed.num_cells(), 3);
+        let result = run_matrix(&mixed).unwrap();
+        assert_eq!(result.cells.len(), 3);
+        assert!(result
+            .cells
+            .iter()
+            .all(|c| MatrixConfig::cell_supported(c.spec.regime, c.spec.policy)));
+    }
+
+    #[test]
+    fn secure_agg_cells_run_without_a_guarantee_and_track_the_ceiling() {
+        let config = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::NonPrivate, PrivacyRegime::SecureAgg])
+            .with_policies(vec![PolicyKind::LinUcb])
+            .with_seed(17);
+        let result = run_matrix(&config).unwrap();
+        assert_eq!(result.cells.len(), config.num_cells());
+        let secure = result
+            .cell(
+                ScenarioKind::SyntheticGaussian,
+                PrivacyRegime::SecureAgg,
+                PolicyKind::LinUcb,
+            )
+            .unwrap();
+        // Every taken reporting opportunity is shared (no thresholding).
+        assert_eq!(secure.shared_reports, secure.submitted_reports);
+        assert!(secure.shared_reports > 0);
+        // A trust split, not a DP mechanism: no (ε, δ) is reported.
+        assert_eq!(secure.epsilon, None);
+        assert_eq!(secure.delta, None);
+        assert!(secure.batch_guarantees.is_empty());
+        // No noise is added, so the regime stays within striking distance of
+        // the non-private ceiling (it differs only by epoch-snapshot lag and
+        // ~2⁻⁴⁸ quantization).
+        let ceiling = result
+            .cell(
+                ScenarioKind::SyntheticGaussian,
+                PrivacyRegime::NonPrivate,
+                PolicyKind::LinUcb,
+            )
+            .unwrap();
+        assert!(
+            secure.final_cumulative_reward > 0.5 * ceiling.final_cumulative_reward,
+            "secure agg ({:.2}) should track the non-private ceiling ({:.2})",
+            secure.final_cumulative_reward,
+            ceiling.final_cumulative_reward
+        );
+    }
+
+    #[test]
+    fn secure_agg_is_bit_deterministic_at_any_worker_count() {
+        let base = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::SecureAgg])
+            .with_policies(vec![PolicyKind::LinUcb])
+            .with_seed(29);
+        let mut serial = base.clone();
+        serial.cell_workers = 1;
+        let mut threaded = base;
+        threaded.cell_workers = 4;
+        let a = run_matrix(&serial).unwrap();
+        let b = run_matrix(&threaded).unwrap();
+        assert_eq!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn secure_agg_requires_linucb_on_the_policy_axis() {
+        let bad = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::SecureAgg])
+            .with_policies(vec![PolicyKind::Ucb1]);
+        assert!(run_matrix(&bad).is_err());
+
+        // With LinUcb present, unsupported combinations are skipped, not run.
+        let mixed = MatrixConfig::smoke()
+            .with_scenarios(vec![ScenarioKind::SyntheticGaussian])
+            .with_regimes(vec![PrivacyRegime::NonPrivate, PrivacyRegime::SecureAgg])
+            .with_policies(vec![PolicyKind::LinUcb, PolicyKind::Ucb1])
+            .with_seed(31);
+        // NonPrivate × {LinUcb, Ucb1} + SecureAgg × {LinUcb} = 3 cells.
         assert_eq!(mixed.num_cells(), 3);
         let result = run_matrix(&mixed).unwrap();
         assert_eq!(result.cells.len(), 3);

@@ -32,16 +32,25 @@ pub enum PrivacyRegime {
     /// (Gaussian noise on O(log T) dyadic partial sums) and accounts the
     /// releases in ρ-zCDP via the [`p2b_privacy::ZcdpAccountant`].
     CentralDp,
+    /// Secure aggregation without a trusted curator: each report's LinUCB
+    /// sufficient-statistic leaf is fixed-point encoded and additively
+    /// secret-shared ([`p2b_privacy::SecretSharer`]) across independent
+    /// aggregator shards, and the model is rebuilt from the *recombined*
+    /// sums only. The guarantee is architectural (no single aggregator sees
+    /// a contribution in the clear), not differential privacy — utility is
+    /// the non-private ceiling up to fixed-point quantization.
+    SecureAgg,
 }
 
 impl PrivacyRegime {
     /// Every regime, ordered from no privacy to the paper's mechanism, with
-    /// the central-DP comparison baseline last.
-    pub const ALL: [PrivacyRegime; 4] = [
+    /// the comparison baselines (central DP, then secure aggregation) last.
+    pub const ALL: [PrivacyRegime; 5] = [
         PrivacyRegime::NonPrivate,
         PrivacyRegime::LocalDp,
         PrivacyRegime::P2bShuffle,
         PrivacyRegime::CentralDp,
+        PrivacyRegime::SecureAgg,
     ];
 
     /// Stable identifier used in result files and CSV rows.
@@ -52,21 +61,28 @@ impl PrivacyRegime {
             PrivacyRegime::LocalDp => "ldp_randomized_response",
             PrivacyRegime::P2bShuffle => "p2b_shuffle",
             PrivacyRegime::CentralDp => "central_dp_tree",
+            PrivacyRegime::SecureAgg => "secure_agg",
         }
     }
 
     /// Whether the regime offers any differential-privacy guarantee.
+    /// Secure aggregation does not: its protection is a trust split (no
+    /// single aggregator sees plaintext), so it reports no (ε, δ).
     #[must_use]
     pub fn is_private(&self) -> bool {
-        !matches!(self, PrivacyRegime::NonPrivate)
+        !matches!(self, PrivacyRegime::NonPrivate | PrivacyRegime::SecureAgg)
     }
 
     /// Whether the regime needs a fitted context encoder (the on-device
     /// private regimes share codes, not raw contexts; the central-DP curator
-    /// receives raw contexts and privatizes on the server side).
+    /// and the secure-aggregation shards consume statistics built from raw
+    /// contexts on the submitting side).
     #[must_use]
     pub fn uses_encoder(&self) -> bool {
-        !matches!(self, PrivacyRegime::NonPrivate | PrivacyRegime::CentralDp)
+        !matches!(
+            self,
+            PrivacyRegime::NonPrivate | PrivacyRegime::CentralDp | PrivacyRegime::SecureAgg
+        )
     }
 }
 
@@ -77,6 +93,7 @@ impl fmt::Display for PrivacyRegime {
             PrivacyRegime::LocalDp => "LDP randomized response",
             PrivacyRegime::P2bShuffle => "P2B shuffle",
             PrivacyRegime::CentralDp => "central DP (tree aggregation)",
+            PrivacyRegime::SecureAgg => "secure aggregation (additive shares)",
         };
         f.write_str(label)
     }
@@ -99,6 +116,10 @@ mod tests {
         assert!(PrivacyRegime::LocalDp.is_private());
         assert!(PrivacyRegime::P2bShuffle.is_private());
         assert!(PrivacyRegime::CentralDp.is_private());
+        assert!(
+            !PrivacyRegime::SecureAgg.is_private(),
+            "secure aggregation is a trust split, not a DP guarantee"
+        );
         assert!(!PrivacyRegime::NonPrivate.uses_encoder());
         assert!(PrivacyRegime::LocalDp.uses_encoder());
         assert!(PrivacyRegime::P2bShuffle.uses_encoder());
@@ -106,7 +127,9 @@ mod tests {
             !PrivacyRegime::CentralDp.uses_encoder(),
             "the curator receives raw contexts and privatizes server-side"
         );
+        assert!(!PrivacyRegime::SecureAgg.uses_encoder());
         assert!(PrivacyRegime::LocalDp.to_string().contains("LDP"));
         assert!(PrivacyRegime::CentralDp.to_string().contains("central"));
+        assert!(PrivacyRegime::SecureAgg.to_string().contains("secure"));
     }
 }

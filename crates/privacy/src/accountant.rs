@@ -55,7 +55,7 @@ impl PrivacyAccountant {
     pub fn new() -> Self {
         Self {
             spends: Vec::new(),
-            total: PrivacyGuarantee::pure(0.0).expect("zero epsilon is valid"),
+            total: PrivacyGuarantee::zero(),
             budget: None,
         }
     }
@@ -65,7 +65,7 @@ impl PrivacyAccountant {
     pub fn with_budget(budget: PrivacyGuarantee) -> Self {
         Self {
             spends: Vec::new(),
-            total: PrivacyGuarantee::pure(0.0).expect("zero epsilon is valid"),
+            total: PrivacyGuarantee::zero(),
             budget: Some(budget),
         }
     }

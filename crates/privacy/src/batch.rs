@@ -152,12 +152,7 @@ impl AmplificationLedger {
         self.records
             .iter()
             .filter(|r| r.released > 0)
-            .max_by(|a, b| {
-                a.guarantee
-                    .delta()
-                    .partial_cmp(&b.guarantee.delta())
-                    .expect("deltas are finite by construction")
-            })
+            .max_by(|a, b| a.guarantee.delta().total_cmp(&b.guarantee.delta()))
     }
 
     /// Total reports released across every recorded batch.
@@ -260,6 +255,20 @@ mod tests {
         assert_eq!(weakest.crowd_size, 3);
         assert_eq!(ledger.total_released(), 230);
         assert_eq!(ledger.records().len(), 3);
+    }
+
+    #[test]
+    fn weakest_is_total_ordered_under_ties() {
+        // `total_cmp` makes the selection a total order: equal-δ batches
+        // cannot panic the comparator (the old `partial_cmp(...).expect`
+        // path), and the scan keeps the last maximum deterministically.
+        let mut ledger = ledger();
+        ledger.record_batch(10, 4).unwrap();
+        ledger.record_batch(20, 4).unwrap();
+        ledger.record_batch(30, 9).unwrap();
+        let weakest = ledger.weakest().unwrap();
+        assert_eq!(weakest.crowd_size, 4);
+        assert_eq!(weakest.batch_index, 1, "ties keep the last maximum");
     }
 
     #[test]

@@ -83,6 +83,24 @@ impl PrivacyGuarantee {
         Self::new(epsilon, 0.0)
     }
 
+    /// The perfect guarantee (ε = 0, δ = 0) — the identity of sequential
+    /// composition. Infallible, so zero-initialization sites need no panic
+    /// or error path.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self {
+            epsilon: 0.0,
+            delta: 0.0,
+        }
+    }
+
+    /// Builds a guarantee from parameters a public constructor has already
+    /// validated, skipping re-validation — the crate-internal escape hatch
+    /// that keeps accessor paths free of panics and error plumbing.
+    pub(crate) const fn from_validated(epsilon: f64, delta: f64) -> Self {
+        Self { epsilon, delta }
+    }
+
     /// The ε parameter.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
@@ -150,6 +168,16 @@ mod tests {
         assert!(PrivacyGuarantee::new(1.0, 1.5).is_err());
         assert!(PrivacyGuarantee::new(f64::INFINITY, 0.0).is_err());
         assert!(PrivacyGuarantee::pure(0.693).is_ok());
+    }
+
+    #[test]
+    fn zero_is_the_composition_identity() {
+        let zero = PrivacyGuarantee::zero();
+        assert_eq!(zero.epsilon(), 0.0);
+        assert_eq!(zero.delta(), 0.0);
+        let g = PrivacyGuarantee::new(0.7, 1e-6).unwrap();
+        assert_eq!(zero.compose(&g), g);
+        assert_eq!(g.compose(&zero), g);
     }
 
     #[test]

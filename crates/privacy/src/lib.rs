@@ -27,6 +27,14 @@
 //! loss in ρ-zCDP with conversion to (ε, δ) at query time — the tight
 //! `O(√k)` alternative to sequential composition for long horizons.
 //!
+//! A third trust model rides on the same leaf stream: the secure-aggregation
+//! regime ([`SecretSharer`], [`encode_fixed`]/[`decode_fixed`],
+//! [`recombine`]) additively secret-shares fixed-point statistic
+//! contributions across independent aggregator shards so no single party
+//! ever sees a plaintext contribution — an architectural (who-sees-what)
+//! guarantee rather than a DP one; see the [`SecretSharer`] docs for the
+//! exact construction and its caveats.
+//!
 //! # Example
 //!
 //! ```
@@ -50,6 +58,7 @@ mod crowd_blending;
 mod definitions;
 mod error;
 mod randomized_response;
+mod secret_share;
 mod tree;
 mod zcdp;
 
@@ -62,6 +71,10 @@ pub use crowd_blending::CrowdBlending;
 pub use definitions::{Participation, PrivacyGuarantee};
 pub use error::PrivacyError;
 pub use randomized_response::RandomizedResponse;
+pub use secret_share::{
+    decode_fixed, encode_fixed, recombine, SecretSharer, FIXED_POINT_FRACTIONAL_BITS,
+    FIXED_POINT_MAX_ABS, FIXED_POINT_SCALE,
+};
 pub use tree::{prefix_nodes, TreeAggregator, TreeConfig, TreeNode};
 pub use zcdp::{
     compare_composition, pure_dp_to_rho, rho_to_epsilon, CompositionComparison, ZcdpAccountant,

@@ -56,7 +56,9 @@ impl RandomizedResponse {
     /// The local-DP guarantee of a single report.
     #[must_use]
     pub fn guarantee(&self) -> PrivacyGuarantee {
-        PrivacyGuarantee::pure(self.epsilon).expect("validated at construction")
+        // ε was range-checked by `new`, so the guarantee is rebuilt without
+        // re-validation (and without a panic path on this accessor).
+        PrivacyGuarantee::from_validated(self.epsilon, 0.0)
     }
 
     /// Probability of reporting the true category.

@@ -459,10 +459,15 @@ fn emit(
     // core the synchronous shuffler uses. The shards already anonymized.
     let batch = shuffle_and_threshold(threshold, chunk, rng);
     let stats = batch.stats();
-    let amplification = ledger.as_mut().map(|ledger| {
-        ledger
-            .record_batch(stats.released, stats.min_released_frequency as u64)
-            .expect("released > 0 implies crowd >= threshold >= 1")
+    // `released > 0` implies a crowd ≥ threshold ≥ 1, so recording cannot
+    // fail for batches this merger produces — but the accounting hook must
+    // not be a panic path: a batch whose record is rejected is delivered
+    // with no amplification claim (`None`) instead of crashing the merger.
+    // The `u64::try_from` keeps the usize → u64 conversion lossless on any
+    // platform instead of silently truncating.
+    let amplification = ledger.as_mut().and_then(|ledger| {
+        let crowd = u64::try_from(stats.min_released_frequency).unwrap_or(u64::MAX);
+        ledger.record_batch(stats.released, crowd).ok()
     });
     let batch = EngineBatch {
         index: *next_index,
@@ -505,8 +510,14 @@ impl EngineHandle {
             .as_ref()
             .ok_or(ShufflerError::PipelineClosed)?;
         let slot = self.slot.fetch_add(1, Ordering::Relaxed);
-        let shard = (splitmix64(slot) % txs.len() as u64) as usize;
-        txs[shard]
+        // The builder guarantees at least one shard; `checked_rem` makes the
+        // routing arithmetic panic-free even so (an impossible empty shard
+        // set reads as a closed pipeline, not a divide-by-zero).
+        let shard = splitmix64(slot)
+            .checked_rem(txs.len() as u64)
+            .ok_or(ShufflerError::PipelineClosed)? as usize;
+        txs.get(shard)
+            .ok_or(ShufflerError::PipelineClosed)?
             .send(report)
             .map_err(|_| ShufflerError::PipelineClosed)
     }
@@ -686,6 +697,45 @@ mod tests {
         let ledger = output.ledger.expect("accounting enabled");
         assert_eq!(ledger.records(), &[record]);
         assert_eq!(ledger.total_released(), 12);
+    }
+
+    #[test]
+    fn fully_suppressed_batches_record_the_perfect_guarantee_without_panicking() {
+        // Every code below threshold: the merged batch releases nothing, so
+        // the accounting hook records (released = 0, crowd = 0) — the edge
+        // the old `expect` claimed unreachable. It must yield a (0, 0)
+        // record, not a panic.
+        let engine = ShufflerEngine::builder(ShufflerConfig::new(10))
+            .shards(2)
+            .batch_size(6)
+            .privacy_accounting(Participation::new(0.5).unwrap(), 0.1)
+            .build()
+            .unwrap();
+        let handle = engine.spawn(21);
+        for i in 0..6 {
+            handle.submit(raw(i)).unwrap(); // six distinct codes, crowd 1 < 10
+        }
+        let output = handle.finish();
+        assert_eq!(output.batches.len(), 1);
+        assert!(output.batches[0].batch.reports().is_empty());
+        let record = output.batches[0].amplification.expect("accounting enabled");
+        assert_eq!(record.released, 0);
+        assert_eq!(record.crowd_size, 0);
+        assert_eq!(record.guarantee.epsilon(), 0.0);
+        assert_eq!(record.guarantee.delta(), 0.0);
+    }
+
+    #[test]
+    fn single_shard_routing_is_panic_free() {
+        // `checked_rem` routing: the smallest legal shard set must route
+        // every slot without arithmetic panics.
+        let handle = engine(1, 1, 4).spawn(2);
+        for i in 0..9 {
+            handle.submit(raw(i % 2)).unwrap();
+        }
+        let output = handle.finish();
+        let total: usize = output.batches.iter().map(|b| b.batch.stats().received).sum();
+        assert_eq!(total, 9);
     }
 
     #[test]

@@ -30,6 +30,13 @@
 //!   per-batch (ε, δ) amplification records. See [`engine`] for the stage
 //!   diagram. This is the serving-scale path.
 //!
+//! A fourth shape drops the trusted-shuffler assumption altogether for the
+//! sufficient-statistics ingest path: the [`SecureAggEngine`] aggregates
+//! additively secret-shared fixed-point contributions across `k`
+//! independent shard workers, none of which ever sees a plaintext value;
+//! only the recombined sum — exact at any shard count — leaves the engine.
+//! See [`secure`] for the stage diagram and the trust model.
+//!
 //! # Example
 //!
 //! ```
@@ -55,6 +62,7 @@ pub mod engine;
 mod error;
 mod pipeline;
 mod report;
+pub mod secure;
 mod shard;
 mod shuffle;
 
@@ -62,6 +70,7 @@ pub use engine::{
     splitmix64, EngineBatch, EngineBuilder, EngineHandle, EngineOutput, ShufflerEngine,
 };
 pub use error::ShufflerError;
+pub use secure::{SecureAggBuilder, SecureAggEngine, SecureAggHandle, SecureAggOutput};
 pub use pipeline::{PipelineHandle, ShufflerPipeline};
 pub use report::{EncodedReport, RawReport, ReportMetadata};
 pub use shuffle::{ShuffledBatch, Shuffler, ShufflerConfig, ShufflerStats};

@@ -38,7 +38,7 @@ use std::thread::JoinHandle;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShufflerPipeline {
-    config: ShufflerConfig,
+    shuffler: Shuffler,
     batch_size: usize,
 }
 
@@ -50,15 +50,20 @@ impl ShufflerPipeline {
     /// Returns [`ShufflerError::InvalidConfig`] when the shuffler config is
     /// invalid or `batch_size` is zero.
     pub fn new(config: ShufflerConfig, batch_size: usize) -> Result<Self, ShufflerError> {
-        // Validate the shuffler configuration eagerly so `spawn` cannot fail.
-        let _ = Shuffler::new(config)?;
+        // Build (and thereby validate) the shuffler once, here: `spawn`
+        // clones the stored instance instead of re-validating the config,
+        // so it has no failure — and no panic — path.
+        let shuffler = Shuffler::new(config)?;
         if batch_size == 0 {
             return Err(ShufflerError::InvalidConfig {
                 parameter: "batch_size",
                 message: "must be at least 1".to_owned(),
             });
         }
-        Ok(Self { config, batch_size })
+        Ok(Self {
+            shuffler,
+            batch_size,
+        })
     }
 
     /// Starts the background worker and returns a handle for submitting
@@ -67,7 +72,7 @@ impl ShufflerPipeline {
     pub fn spawn(&self, seed: u64) -> PipelineHandle {
         let (report_tx, report_rx) = unbounded::<RawReport>();
         let (batch_tx, batch_rx) = unbounded::<ShuffledBatch>();
-        let shuffler = Shuffler::new(self.config).expect("config validated in new");
+        let shuffler = self.shuffler.clone();
         let batch_size = self.batch_size;
 
         let worker = std::thread::spawn(move || {
